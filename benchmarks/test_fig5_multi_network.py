@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig 5 — multi-network NAAS vs the five baselines.
+
+Paper geomeans: 2.6x/2.2x speedup (EdgeTPU / NVDLA-1024, large models),
+4.4x/1.7x/4.4x (Eyeriss / NVDLA-256 / ShiDianNao, mobile models), with
+1.1x-4.9x energy savings. Asserted shape: geomean EDP improves in every
+scenario and speed improves in most.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_fig5_multi_network(benchmark):
+    result = run_and_check(benchmark, "fig5")
+    geomean_rows = [row for row in result.rows if row[1] == "geomean"]
+    assert len(geomean_rows) == 5
+    # every scenario's geomean EDP reduction > 1
+    assert all(row[4] > 1.0 for row in geomean_rows)

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig 6 — per-network specialized NAAS.
+
+Paper: specializing the accelerator to a single network gives larger
+gains than the shared Fig 5 design (up to ~16x speedup for MNasNet on
+ShiDianNao resources). Quick profile runs a representative
+scenario/network subset; REPRO_PROFILE=full runs the complete 5x6 grid.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_fig6_per_network(benchmark):
+    result = run_and_check(benchmark, "fig6")
+    # every pair improves EDP over its baseline preset
+    assert all(row[4] > 1.0 for row in result.rows)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Diagnose where a network's time and energy go on an accelerator.
+
+Uses :mod:`repro.cost.diagnose` to print the hotspot layers, the
+bottleneck histogram, and the difference a NAAS-searched design makes —
+useful when deciding whether a workload needs more bandwidth, more PEs,
+or a different dataflow.
+
+Run:  python examples/bottleneck_report.py
+"""
+
+from repro import (
+    CostModel,
+    MappingSearchBudget,
+    NAASBudget,
+    baseline_constraint,
+    baseline_preset,
+    build_model,
+    search_accelerator,
+)
+from repro.cost.diagnose import (
+    bottleneck_histogram,
+    diagnose_network,
+    render_diagnosis,
+)
+from repro.mapping.builders import dataflow_preserving_mapping
+
+
+def report(tag, network, accel, mapping_for, cost_model):
+    cost, rows = diagnose_network(network, accel, mapping_for, cost_model)
+    print(f"=== {tag}: {accel.describe()}")
+    print(f"total: {cost.total_cycles:.3e} cycles, "
+          f"{cost.total_energy_nj:.3e} nJ, EDP {cost.edp:.3e}")
+    print(f"bottleneck histogram: {bottleneck_histogram(rows)}")
+    print(render_diagnosis(rows, top=6))
+    print()
+    return cost
+
+
+def main() -> None:
+    cost_model = CostModel()
+    network = build_model("mnasnet")
+    preset = baseline_preset("nvdla_256")
+
+    baseline = report(
+        "baseline", network, preset,
+        lambda l: dataflow_preserving_mapping(l, preset), cost_model)
+
+    searched = search_accelerator(
+        [network], baseline_constraint("nvdla_256"), cost_model,
+        budget=NAASBudget(accel_population=8, accel_iterations=6,
+                          mapping=MappingSearchBudget(population=8,
+                                                      iterations=4)),
+        seed=0, seed_configs=[preset])
+    mappings = searched.best_mappings
+
+    found = report(
+        "NAAS-searched", network, searched.best_config,
+        lambda l: mappings[l.name], cost_model)
+
+    print(f"EDP reduction: {baseline.edp / found.edp:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Design-space tour: how dataflow choice interacts with workloads.
+
+Evaluates one dense conv, one pointwise conv and one depthwise conv on
+four fixed 256-PE accelerators that differ only in their parallel
+dimensions (the paper's Table II correlations made concrete): C-K
+(NVDLA-style), Y-X (ShiDianNao-style), K-Y and R-Y (Eyeriss-style).
+Depthwise layers starve C-parallel arrays; pointwise layers starve
+R-parallel ones — exactly the couplings NAAS exploits.
+
+Run:  python examples/design_space_tour.py
+"""
+
+from repro import CostModel
+from repro.accelerator.arch import AcceleratorConfig
+from repro.mapping.builders import dataflow_preserving_mapping
+from repro.tensors.dims import Dim
+from repro.tensors.layer import ConvLayer, conv1x1, depthwise
+from repro.utils.tables import render_table
+
+DATAFLOWS = {
+    "C-K (NVDLA)": (Dim.C, Dim.K),
+    "Y-X (ShiDianNao)": (Dim.Y, Dim.X),
+    "K-Y": (Dim.K, Dim.Y),
+    "R-Y (Eyeriss)": (Dim.R, Dim.Y),
+}
+
+LAYERS = [
+    ConvLayer(name="dense 3x3", k=128, c=128, y=28, x=28, r=3, s=3),
+    conv1x1("pointwise", 256, 128, y=28, x=28),
+    depthwise("depthwise 3x3", 128, y=28, x=28),
+]
+
+
+def main() -> None:
+    cost_model = CostModel()
+    rows = []
+    for dataflow_name, parallel in DATAFLOWS.items():
+        accel = AcceleratorConfig(
+            array_dims=(16, 16), parallel_dims=parallel,
+            l1_bytes=256, l2_bytes=256 * 1024, dram_bandwidth=32,
+            name=dataflow_name)
+        for layer in LAYERS:
+            mapping = dataflow_preserving_mapping(layer, accel)
+            cost = cost_model.evaluate(layer, accel, mapping)
+            rows.append((dataflow_name, layer.name,
+                         f"{cost.utilization:.1%}",
+                         cost.cycles, cost.energy_nj, cost.edp))
+
+    print(render_table(
+        ["dataflow", "layer", "utilization", "cycles", "energy (nJ)", "EDP"],
+        rows))
+    print()
+    print("Read-out: C-K dies on depthwise (C=1 idles an axis), Y-X is")
+    print("robust across all three, R-parallel wastes rows on 1x1 kernels.")
+    print("NAAS's connectivity search picks the dataflow per scenario")
+    print("instead of baking one in.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: search an accelerator for MobileNetV2 within Eyeriss resources.
+
+This is the paper's headline experiment in miniature: give NAAS the same
+PE count, on-chip memory and bandwidth budget as Eyeriss, and let it
+co-search the accelerator architecture (sizing + connectivity) and the
+per-layer compiler mappings. Expect a several-fold EDP improvement.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CostModel,
+    MappingSearchBudget,
+    NAASBudget,
+    baseline_constraint,
+    baseline_preset,
+    build_model,
+    search_accelerator,
+)
+from repro.mapping.builders import dataflow_preserving_mapping
+
+
+def main() -> None:
+    cost_model = CostModel()
+    network = build_model("mobilenet_v2")
+    preset = baseline_preset("eyeriss")
+
+    print(network.describe())
+    print()
+
+    # How does the baseline do with its native dataflow + compiler?
+    baseline = cost_model.evaluate_network(
+        network, preset, lambda l: dataflow_preserving_mapping(l, preset))
+    print(f"Baseline {preset.describe()}")
+    print(f"  cycles={baseline.total_cycles:.3e}  "
+          f"energy={baseline.total_energy_nj:.3e} nJ  "
+          f"EDP={baseline.edp:.3e}  util={baseline.mean_utilization:.1%}")
+    print()
+
+    # NAAS: same resources, free architecture + mapping.
+    budget = NAASBudget(accel_population=10, accel_iterations=8,
+                        mapping=MappingSearchBudget(population=8,
+                                                    iterations=5))
+    result = search_accelerator(
+        [network], baseline_constraint("eyeriss"), cost_model,
+        budget=budget, seed=0, seed_configs=[preset])
+
+    found = result.network_costs[network.name]
+    print(f"NAAS-searched {result.best_config.describe()}")
+    print(f"  cycles={found.total_cycles:.3e}  "
+          f"energy={found.total_energy_nj:.3e} nJ  "
+          f"EDP={found.edp:.3e}  util={found.mean_utilization:.1%}")
+    print()
+    print(f"speedup        : {baseline.total_cycles / found.total_cycles:.2f}x")
+    print(f"energy saving  : {baseline.total_energy_nj / found.total_energy_nj:.2f}x")
+    print(f"EDP reduction  : {baseline.edp / found.edp:.2f}x  "
+          f"(paper reports ~9x EDP for Eyeriss-resource mobile workloads)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Reproduce every table and figure of the paper in one run.
+
+Runs the full experiment registry (Fig 4-10, Tables III-IV) at the
+selected budget profile and writes an EXPERIMENTS-style report to
+stdout. With the default ``quick`` profile this takes a few minutes;
+``REPRO_PROFILE=full`` (or ``paper``) trades hours for tighter numbers.
+
+Run:  python examples/reproduce_paper.py [experiment ...]
+"""
+
+import sys
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(f"unknown experiments: {unknown}; "
+                         f"known: {sorted(EXPERIMENTS)}")
+
+    failures = []
+    for name in names:
+        result = run_experiment(name, seed=0)
+        print(result.render())
+        print()
+        if not result.all_claims_hold:
+            failures.append(name)
+
+    if failures:
+        raise SystemExit(f"claims failed in: {failures}")
+    print(f"all qualitative claims hold across {len(names)} experiments")
+
+
+if __name__ == "__main__":
+    main()

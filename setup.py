@@ -1,0 +1,9 @@
+"""Setup shim for environments without PEP 517 build isolation.
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e .`` through the legacy setuptools path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,91 @@
+"""NAAS: Neural Accelerator Architecture Search — full reproduction.
+
+Reproduces Lin, Yang & Han, *NAAS: Neural Accelerator Architecture
+Search*, DAC 2021 (arXiv:2105.13258): a three-level evolutionary
+co-search over accelerator architectures (sizing + PE connectivity),
+compiler mappings (loop orders + tilings) and neural architectures
+(Once-For-All ResNet-50 space), evaluated by an analytical
+MAESTRO-style cost model.
+
+Quick start::
+
+    from repro import (CostModel, baseline_constraint, build_model,
+                       NAASBudget, search_accelerator)
+
+    net = build_model("mobilenet_v2")
+    result = search_accelerator([net], baseline_constraint("eyeriss"),
+                                CostModel(), budget=NAASBudget(), seed=0)
+    print(result.best_config.describe(), result.best_reward)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.accelerator import (
+    AcceleratorConfig,
+    ResourceConstraint,
+    baseline_constraint,
+    baseline_preset,
+)
+from repro.cost import CostModel, CostParams, LayerCost, NetworkCost
+from repro.encoding import EncodingStyle, HardwareEncoder, MappingEncoder
+from repro.mapping import Mapping
+from repro.models import build_model, large_benchmark_set, mobile_benchmark_set
+from repro.nas import (
+    AccuracyPredictor,
+    NASBudget,
+    OFAResNetSpace,
+    ResNetArch,
+    build_subnet,
+)
+from repro.nas.joint import JointBudget, JointSearchResult, search_joint
+from repro.search import (
+    AcceleratorSearchResult,
+    EvolutionEngine,
+    MappingSearchBudget,
+    MappingSearchResult,
+    NAASBudget,
+    RandomEngine,
+    search_accelerator,
+    search_mapping,
+)
+from repro.tensors import ConvLayer, Dim, Network
+from repro.version import __version__
+
+__all__ = [
+    "AcceleratorConfig",
+    "AcceleratorSearchResult",
+    "AccuracyPredictor",
+    "ConvLayer",
+    "CostModel",
+    "CostParams",
+    "Dim",
+    "EncodingStyle",
+    "EvolutionEngine",
+    "HardwareEncoder",
+    "JointBudget",
+    "JointSearchResult",
+    "LayerCost",
+    "Mapping",
+    "MappingEncoder",
+    "MappingSearchBudget",
+    "MappingSearchResult",
+    "NAASBudget",
+    "NASBudget",
+    "Network",
+    "NetworkCost",
+    "OFAResNetSpace",
+    "RandomEngine",
+    "ResNetArch",
+    "ResourceConstraint",
+    "__version__",
+    "baseline_constraint",
+    "baseline_preset",
+    "build_model",
+    "build_subnet",
+    "large_benchmark_set",
+    "mobile_benchmark_set",
+    "search_accelerator",
+    "search_joint",
+    "search_mapping",
+]

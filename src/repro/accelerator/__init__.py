@@ -1,0 +1,26 @@
+"""Accelerator architecture model: sizing + connectivity, constraints, presets.
+
+An accelerator is described exactly as in the paper's hardware encoding
+(Fig 2): architectural sizing (#PEs via the array shape, L1/L2 buffer
+sizes, DRAM bandwidth) plus connectivity parameters (number of array
+dimensions, per-dimension sizes, and the parallel dimension mapped onto
+each physical array axis).
+"""
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.accelerator.constraints import ResourceConstraint
+from repro.accelerator.presets import (
+    BASELINE_PRESETS,
+    baseline_constraint,
+    baseline_preset,
+)
+from repro.accelerator.validation import validate_architecture
+
+__all__ = [
+    "AcceleratorConfig",
+    "BASELINE_PRESETS",
+    "ResourceConstraint",
+    "baseline_constraint",
+    "baseline_preset",
+    "validate_architecture",
+]

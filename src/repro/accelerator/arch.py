@@ -1,0 +1,116 @@
+"""The accelerator configuration dataclass.
+
+Matches the paper's hardware description (Fig 2): a k-dimensional compute
+array (k in {1, 2, 3}) whose axes each parallelize one convolution
+dimension, a private L1 scratchpad per PE, a shared L2 buffer, and a
+DRAM interface with finite bandwidth. The *parallel dimensions* encode
+the PE inter-connection: parallelizing C implies a spatial reduction
+(partial-sum accumulate across the axis), parallelizing K broadcasts
+input features, parallelizing Y/X broadcasts weights and forwards
+sliding-window halos.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from repro.errors import InvalidArchitectureError
+from repro.tensors.dims import SEARCHED_DIMS, Dim
+from repro.utils.mathutils import prod
+
+
+@dataclasses.dataclass(frozen=True)
+class AcceleratorConfig:
+    """A complete accelerator design point.
+
+    Attributes
+    ----------
+    array_dims:
+        Physical size of each compute-array axis, e.g. ``(16, 16)`` for a
+        2-D 16x16 array or ``(4, 6, 6)`` for a 3-D array. The number of
+        PEs is their product; each PE holds one MAC unit (§II-B).
+    parallel_dims:
+        The convolution dimension parallelized along each array axis,
+        same length as ``array_dims``, all distinct.
+    l1_bytes:
+        Private (per-PE) scratchpad capacity in bytes.
+    l2_bytes:
+        Shared global buffer capacity in bytes.
+    dram_bandwidth:
+        Off-chip bandwidth in bytes per cycle.
+    name:
+        Optional label for reporting.
+    """
+
+    array_dims: Tuple[int, ...]
+    parallel_dims: Tuple[Dim, ...]
+    l1_bytes: int
+    l2_bytes: int
+    dram_bandwidth: int
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "array_dims", tuple(int(d) for d in self.array_dims))
+        object.__setattr__(self, "parallel_dims", tuple(self.parallel_dims))
+        if not 1 <= len(self.array_dims) <= 3:
+            raise InvalidArchitectureError(
+                f"{self.name}: array must be 1-3 dimensional, got {self.array_dims}")
+        if len(self.parallel_dims) != len(self.array_dims):
+            raise InvalidArchitectureError(
+                f"{self.name}: {len(self.array_dims)} array axes need as many "
+                f"parallel dims, got {self.parallel_dims}")
+        if any(size < 1 for size in self.array_dims):
+            raise InvalidArchitectureError(
+                f"{self.name}: array axis sizes must be >= 1, got {self.array_dims}")
+        seen = set()
+        for dim in self.parallel_dims:
+            if not isinstance(dim, Dim) or dim not in SEARCHED_DIMS:
+                raise InvalidArchitectureError(
+                    f"{self.name}: parallel dim must be one of "
+                    f"{[d.name for d in SEARCHED_DIMS]}, got {dim!r}")
+            if dim in seen:
+                raise InvalidArchitectureError(
+                    f"{self.name}: duplicate parallel dim {dim.name}")
+            seen.add(dim)
+        for field, minimum in (("l1_bytes", 1), ("l2_bytes", 1), ("dram_bandwidth", 1)):
+            value = getattr(self, field)
+            if not isinstance(value, int) or value < minimum:
+                raise InvalidArchitectureError(
+                    f"{self.name}: {field} must be an int >= {minimum}, got {value!r}")
+
+    # ----- derived quantities ------------------------------------------------
+
+    @property
+    def num_pes(self) -> int:
+        """Total processing elements (one MAC each)."""
+        return int(prod(self.array_dims))
+
+    @property
+    def num_array_dims(self) -> int:
+        return len(self.array_dims)
+
+    @property
+    def onchip_bytes(self) -> int:
+        """Total on-chip SRAM: shared L2 plus every PE's L1."""
+        return self.l2_bytes + self.num_pes * self.l1_bytes
+
+    def axis_of(self, dim: Dim) -> int:
+        """Array-axis index parallelizing ``dim``; -1 if ``dim`` is temporal."""
+        for axis, parallel in enumerate(self.parallel_dims):
+            if parallel is dim:
+                return axis
+        return -1
+
+    def spatial_size(self, dim: Dim) -> int:
+        """Array extent along ``dim``'s axis (1 when ``dim`` is temporal)."""
+        axis = self.axis_of(dim)
+        return self.array_dims[axis] if axis >= 0 else 1
+
+    def describe(self) -> str:
+        """One-line summary in the style of the paper's Fig 7 captions."""
+        shape = "x".join(str(d) for d in self.array_dims)
+        dataflow = "-".join(d.name for d in self.parallel_dims)
+        return (f"{self.name}: {shape} array ({self.num_pes} PEs), "
+                f"{dataflow} parallel, L1 {self.l1_bytes} B, "
+                f"L2 {self.l2_bytes // 1024} KB, BW {self.dram_bandwidth} B/cyc")

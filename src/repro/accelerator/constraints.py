@@ -1,0 +1,60 @@
+"""Resource constraints bounding the accelerator search space.
+
+The paper evaluates NAAS under "the same computation resource" as each
+baseline (§III-A(a)): a maximum PE count, a maximum *total* on-chip
+memory (shared L2 plus all private L1s), and a maximum DRAM bandwidth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.errors import InvalidArchitectureError
+
+
+@dataclasses.dataclass(frozen=True)
+class ResourceConstraint:
+    """Upper bounds a searched accelerator must respect."""
+
+    max_pes: int
+    max_onchip_bytes: int
+    max_dram_bandwidth: int
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        for field in ("max_pes", "max_onchip_bytes", "max_dram_bandwidth"):
+            value = getattr(self, field)
+            if not isinstance(value, int) or value < 1:
+                raise InvalidArchitectureError(
+                    f"constraint {self.name!r}: {field} must be an int >= 1, "
+                    f"got {value!r}")
+
+    def violations(self, config: AcceleratorConfig) -> List[str]:
+        """Human-readable list of violated bounds (empty = satisfied)."""
+        problems: List[str] = []
+        if config.num_pes > self.max_pes:
+            problems.append(
+                f"#PEs {config.num_pes} > max {self.max_pes}")
+        if config.onchip_bytes > self.max_onchip_bytes:
+            problems.append(
+                f"on-chip {config.onchip_bytes} B > max {self.max_onchip_bytes} B")
+        if config.dram_bandwidth > self.max_dram_bandwidth:
+            problems.append(
+                f"bandwidth {config.dram_bandwidth} B/cyc > max "
+                f"{self.max_dram_bandwidth} B/cyc")
+        return problems
+
+    def admits(self, config: AcceleratorConfig) -> bool:
+        """True when ``config`` fits within every bound."""
+        return not self.violations(config)
+
+    @classmethod
+    def from_config(cls, config: AcceleratorConfig,
+                    name: str = "") -> "ResourceConstraint":
+        """Constraint matching exactly the resources of an existing design."""
+        return cls(max_pes=config.num_pes,
+                   max_onchip_bytes=config.onchip_bytes,
+                   max_dram_bandwidth=config.dram_bandwidth,
+                   name=name or f"{config.name}-resources")

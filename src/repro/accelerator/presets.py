@@ -1,0 +1,94 @@
+"""Baseline accelerator presets: Eyeriss, NVDLA-256/1024, EdgeTPU, ShiDianNao.
+
+Sizes follow the published designs (rounded to our byte-granular model);
+dataflows are expressed through the parallel-dimension vocabulary:
+
+- **Eyeriss** (Chen et al., JSSC'17): 12x14 PE array, row-stationary —
+  kernel rows across PE rows and output rows across the other axis
+  (R-Y parallel), 512 B register file per PE, 108 KB global buffer.
+- **NVDLA** (2017): a C x K MAC array (input channels reduce spatially,
+  output channels broadcast), modelled at 16x16 (256 MACs) and 32x32
+  (1024 MACs) with a large convolution buffer.
+- **EdgeTPU**: 64x64 systolic array (C-K parallel) with megabytes of
+  unified buffer.
+- **ShiDianNao** (Du et al., ISCA'15): 8x8 output-stationary array, each
+  PE owns one output pixel (Y-X parallel), small scratchpads.
+
+These presets serve two roles: (1) the *baseline design point* whose EDP
+NAAS is compared against, and (2) via
+:func:`repro.accelerator.constraints.ResourceConstraint.from_config`,
+the resource envelope NAAS searches within.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.accelerator.constraints import ResourceConstraint
+from repro.errors import ReproError
+from repro.tensors.dims import Dim
+
+KB = 1024
+
+BASELINE_PRESETS: Dict[str, AcceleratorConfig] = {
+    "eyeriss": AcceleratorConfig(
+        name="eyeriss",
+        array_dims=(12, 14),
+        parallel_dims=(Dim.R, Dim.Y),
+        l1_bytes=512,
+        l2_bytes=108 * KB,
+        dram_bandwidth=16,
+    ),
+    "nvdla_256": AcceleratorConfig(
+        name="nvdla_256",
+        array_dims=(16, 16),
+        parallel_dims=(Dim.C, Dim.K),
+        l1_bytes=128,
+        l2_bytes=256 * KB,
+        dram_bandwidth=32,
+    ),
+    "nvdla_1024": AcceleratorConfig(
+        name="nvdla_1024",
+        array_dims=(32, 32),
+        parallel_dims=(Dim.C, Dim.K),
+        l1_bytes=128,
+        l2_bytes=512 * KB,
+        dram_bandwidth=64,
+    ),
+    "edgetpu": AcceleratorConfig(
+        name="edgetpu",
+        array_dims=(64, 64),
+        parallel_dims=(Dim.C, Dim.K),
+        l1_bytes=128,
+        l2_bytes=7 * 1024 * KB,
+        dram_bandwidth=128,
+    ),
+    "shidiannao": AcceleratorConfig(
+        name="shidiannao",
+        array_dims=(8, 8),
+        parallel_dims=(Dim.Y, Dim.X),
+        l1_bytes=64,
+        l2_bytes=288 * KB,
+        dram_bandwidth=16,
+    ),
+}
+
+#: Scenario pairing from §III-A(b): large models get big-resource
+#: baselines, mobile models get small-resource baselines.
+LARGE_MODEL_SCENARIOS: Tuple[str, ...] = ("edgetpu", "nvdla_1024")
+MOBILE_MODEL_SCENARIOS: Tuple[str, ...] = ("eyeriss", "nvdla_256", "shidiannao")
+
+
+def baseline_preset(name: str) -> AcceleratorConfig:
+    """Fetch a baseline design by name."""
+    try:
+        return BASELINE_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(BASELINE_PRESETS))
+        raise ReproError(f"unknown baseline {name!r}; known: {known}") from None
+
+
+def baseline_constraint(name: str) -> ResourceConstraint:
+    """Resource envelope matching a baseline design's budget."""
+    return ResourceConstraint.from_config(baseline_preset(name), name=name)

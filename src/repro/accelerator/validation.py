@@ -1,0 +1,51 @@
+"""Structural + resource validation for accelerator candidates.
+
+The evolution loop samples candidates and "rules out the invalid
+accelerator samples" (§II-A(c)). This module centralizes what *invalid*
+means so the sampler, the tests, and the encoders agree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.accelerator.constraints import ResourceConstraint
+
+#: A PE must at least hold one weight, one input and one partial sum
+#: (2 bytes each at 16-bit) to sustain a MAC per cycle.
+MIN_L1_BYTES = 6
+
+#: Below this the L2 cannot double-buffer even a trivial tile.
+MIN_L2_BYTES = 256
+
+
+def validate_architecture(config: AcceleratorConfig,
+                          constraint: Optional[ResourceConstraint] = None,
+                          ) -> List[str]:
+    """Return a list of problems (empty list = valid).
+
+    Structural invariants (always checked) cover minimum buffer sizes and
+    degenerate arrays; resource bounds are checked when a constraint is
+    supplied.
+    """
+    problems: List[str] = []
+    if config.l1_bytes < MIN_L1_BYTES:
+        problems.append(
+            f"L1 {config.l1_bytes} B < minimum {MIN_L1_BYTES} B")
+    if config.l2_bytes < MIN_L2_BYTES:
+        problems.append(
+            f"L2 {config.l2_bytes} B < minimum {MIN_L2_BYTES} B")
+    if config.num_pes < 1:
+        problems.append("array has no PEs")
+    if all(size == 1 for size in config.array_dims):
+        problems.append("all array axes have size 1 (no parallelism)")
+    if constraint is not None:
+        problems.extend(constraint.violations(config))
+    return problems
+
+
+def is_valid(config: AcceleratorConfig,
+             constraint: Optional[ResourceConstraint] = None) -> bool:
+    """Convenience wrapper over :func:`validate_architecture`."""
+    return not validate_architecture(config, constraint)

@@ -1,0 +1,26 @@
+"""Comparison baselines reproduced from the papers NAAS compares against.
+
+- :mod:`repro.baselines.sizing_only` — architectural-sizing-only search
+  in the style of NASAIC [11] / NHAS [12]: connectivity (array shape,
+  parallel dims) and the compiler mapping stay fixed (Fig 8 ablation).
+- :mod:`repro.baselines.nasaic` — NASAIC's heterogeneous two-IP
+  accelerator with #PE / bandwidth allocation search (Table III).
+- :mod:`repro.baselines.nhas` — Neural-Hardware Architecture Search:
+  joint NN + sizing search on a fixed-dataflow accelerator (Fig 10).
+- :mod:`repro.baselines.search_cost` — the Table IV cost accounting.
+"""
+
+from repro.baselines.nasaic import HeterogeneousDesign, search_nasaic
+from repro.baselines.nhas import search_nhas
+from repro.baselines.search_cost import SearchCostReport, search_cost_table
+from repro.baselines.sizing_only import SizingOnlyEncoder, search_sizing_only
+
+__all__ = [
+    "HeterogeneousDesign",
+    "SearchCostReport",
+    "SizingOnlyEncoder",
+    "search_cost_table",
+    "search_nasaic",
+    "search_nhas",
+    "search_sizing_only",
+]

@@ -1,0 +1,153 @@
+"""NASAIC-style heterogeneous accelerator baseline (Table III).
+
+NASAIC (Yang et al., 2020) composes a heterogeneous accelerator from
+fixed IP templates — a DLA-style C-K array and a ShiDianNao-style Y-X
+array — and searches only the allocation of PEs and NoC bandwidth
+between them (about 10^4 candidates versus NAAS's 10^11, §I). Layers are
+dispatched to whichever IP runs them best; templates keep their native
+dataflow and a fixed heuristic mapping.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.accelerator.constraints import ResourceConstraint
+from repro.cost.model import CostModel
+from repro.cost.report import LayerCost
+from repro.errors import ReproError
+from repro.mapping.builders import dataflow_preserving_mapping
+from repro.tensors.dims import Dim
+from repro.tensors.network import Network
+from repro.utils.mathutils import nearest_multiple
+
+#: Allocation fractions searched per resource (NASAIC-scale grid).
+ALLOCATION_FRACTIONS: Tuple[float, ...] = (0.125, 0.25, 0.375, 0.5,
+                                           0.625, 0.75, 0.875)
+
+
+def _square_dims(num_pes: int) -> Tuple[int, int]:
+    """Near-square 2-D array covering at most ``num_pes`` PEs."""
+    side = max(2, int(math.isqrt(num_pes)))
+    rows = side if side % 2 == 0 else side - 1
+    cols = max(2, num_pes // max(2, rows))
+    cols = cols if cols % 2 == 0 else cols - 1
+    return max(2, rows), max(2, cols)
+
+
+def _make_ip(style: str, num_pes: int, l2_bytes: int,
+             bandwidth: int, name: str) -> AcceleratorConfig:
+    rows, cols = _square_dims(num_pes)
+    if style == "dla":
+        parallel = (Dim.C, Dim.K)
+        l1 = 128
+    elif style == "shidiannao":
+        parallel = (Dim.Y, Dim.X)
+        l1 = 64
+    else:
+        raise ReproError(f"unknown IP style {style!r}")
+    return AcceleratorConfig(
+        array_dims=(rows, cols), parallel_dims=parallel,
+        l1_bytes=l1, l2_bytes=max(1024, nearest_multiple(l2_bytes, 16)),
+        dram_bandwidth=max(1, bandwidth), name=name)
+
+
+@dataclasses.dataclass(frozen=True)
+class HeterogeneousDesign:
+    """A two-IP accelerator with a per-layer dispatch policy."""
+
+    dla: AcceleratorConfig
+    shi: AcceleratorConfig
+    name: str = "nasaic"
+
+    @property
+    def num_pes(self) -> int:
+        return self.dla.num_pes + self.shi.num_pes
+
+    def evaluate(self, network: Network, cost_model: CostModel,
+                 ) -> Tuple[float, float, float, Dict[str, str]]:
+        """(cycles, energy_nj, edp, {layer -> chosen IP}) for a network.
+
+        Layers execute sequentially on the IP with the lower EDP,
+        matching NASAIC's per-task dispatch.
+        """
+        total_cycles = 0.0
+        total_energy = 0.0
+        dispatch: Dict[str, str] = {}
+        for layer, count in network.unique_shapes():
+            candidates: Dict[str, LayerCost] = {}
+            for ip_name, ip in (("dla", self.dla), ("shi", self.shi)):
+                mapping = dataflow_preserving_mapping(layer, ip)
+                candidates[ip_name] = cost_model.evaluate(layer, ip, mapping)
+            best_ip = min(candidates, key=lambda n: candidates[n].edp)
+            best = candidates[best_ip]
+            if not best.valid:
+                return math.inf, math.inf, math.inf, {}
+            dispatch[layer.name] = best_ip
+            total_cycles += best.cycles * count
+            total_energy += best.energy_nj * count
+        return total_cycles, total_energy, total_cycles * total_energy, dispatch
+
+
+@dataclasses.dataclass(frozen=True)
+class NASAICResult:
+    """Best allocation found by the NASAIC-style grid search."""
+
+    design: Optional[HeterogeneousDesign]
+    cycles: float
+    energy_nj: float
+    edp: float
+    dispatch: Dict[str, str]
+    candidates_evaluated: int
+
+    @property
+    def found(self) -> bool:
+        return self.design is not None
+
+
+def search_nasaic(network: Network,
+                  constraint: ResourceConstraint,
+                  cost_model: CostModel,
+                  fractions: Sequence[float] = ALLOCATION_FRACTIONS,
+                  ) -> NASAICResult:
+    """Exhaustive allocation search over the two-IP template space."""
+    best: Optional[HeterogeneousDesign] = None
+    best_metrics = (math.inf, math.inf, math.inf)
+    best_dispatch: Dict[str, str] = {}
+    evaluated = 0
+    for pe_frac, bw_frac in itertools.product(fractions, fractions):
+        dla_pes = max(4, int(constraint.max_pes * pe_frac))
+        shi_pes = max(4, constraint.max_pes - dla_pes)
+        # On-chip memory splits proportionally to the PE allocation,
+        # minus each IP's private L1s.
+        dla_l2 = int(constraint.max_onchip_bytes * pe_frac) - dla_pes * 128
+        shi_l2 = (constraint.max_onchip_bytes
+                  - int(constraint.max_onchip_bytes * pe_frac)) - shi_pes * 64
+        if dla_l2 < 1024 or shi_l2 < 1024:
+            continue
+        dla_bw = max(1, int(constraint.max_dram_bandwidth * bw_frac))
+        shi_bw = max(1, constraint.max_dram_bandwidth - dla_bw)
+        design = HeterogeneousDesign(
+            dla=_make_ip("dla", dla_pes, dla_l2, dla_bw, "nasaic-dla"),
+            shi=_make_ip("shidiannao", shi_pes, shi_l2, shi_bw, "nasaic-shi"),
+        )
+        if design.num_pes > constraint.max_pes:
+            continue
+        cycles, energy, edp, dispatch = design.evaluate(network, cost_model)
+        evaluated += 1
+        if edp < best_metrics[2]:
+            best = design
+            best_metrics = (cycles, energy, edp)
+            best_dispatch = dispatch
+    return NASAICResult(
+        design=best,
+        cycles=best_metrics[0],
+        energy_nj=best_metrics[1],
+        edp=best_metrics[2],
+        dispatch=best_dispatch,
+        candidates_evaluated=evaluated,
+    )

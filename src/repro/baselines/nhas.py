@@ -1,0 +1,138 @@
+"""NHAS baseline: neural + architectural-sizing co-search (Fig 10).
+
+Neural-Hardware Architecture Search (Lin et al., 2019) searches the
+neural architecture together with the accelerator's *sizing* parameters
+(array/buffer sizes) while keeping the dataflow template and the
+compiler mapping fixed. Reproduced here as an evolutionary loop over the
+OFA space where each candidate network is scored by a sizing-only
+hardware search around a reference design.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.accelerator.constraints import ResourceConstraint
+from repro.baselines.sizing_only import search_sizing_only
+from repro.cost.model import CostModel
+from repro.cost.report import NetworkCost
+from repro.nas.accuracy import AccuracyPredictor
+from repro.nas.ofa_space import OFAResNetSpace, ResNetArch
+from repro.nas.subnet import build_subnet
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+
+logger = get_logger(__name__)
+
+
+@dataclasses.dataclass(frozen=True)
+class NHASResult:
+    """Best (network, sized accelerator) pair found by the baseline."""
+
+    best_arch: Optional[ResNetArch]
+    best_config: Optional[AcceleratorConfig]
+    best_cost: Optional[NetworkCost]
+    best_accuracy: float
+    best_edp: float
+    network_evaluations: int
+
+    @property
+    def found(self) -> bool:
+        return self.best_arch is not None and self.best_config is not None
+
+
+def search_nhas(constraint: ResourceConstraint,
+                reference: AcceleratorConfig,
+                cost_model: CostModel,
+                accuracy_floor: float,
+                network_population: int = 8,
+                network_iterations: int = 4,
+                sizing_population: int = 8,
+                sizing_iterations: int = 4,
+                seed: SeedLike = None,
+                predictor: Optional[AccuracyPredictor] = None,
+                ) -> NHASResult:
+    """Run the NHAS-style co-search under a resource constraint."""
+    rng = ensure_rng(seed)
+    space = OFAResNetSpace()
+    predictor = predictor or AccuracyPredictor()
+
+    def admissible(max_attempts: int = 64) -> Optional[ResNetArch]:
+        for _ in range(max_attempts):
+            arch = space.sample(seed=rng)
+            if predictor(arch) >= accuracy_floor:
+                return arch
+        # Tight floors: fall back to mutations of the most accurate subnet.
+        for _ in range(max_attempts):
+            arch = space.mutate(space.largest(), rate=0.1, seed=rng)
+            if predictor(arch) >= accuracy_floor:
+                return arch
+        largest = space.largest()
+        return largest if predictor(largest) >= accuracy_floor else None
+
+    population: List[ResNetArch] = []
+    while len(population) < network_population:
+        arch = admissible()
+        if arch is None:
+            break
+        population.append(arch)
+    if not population:
+        return NHASResult(None, None, None, 0.0, math.inf, 0)
+
+    best_arch: Optional[ResNetArch] = None
+    best_config: Optional[AcceleratorConfig] = None
+    best_cost: Optional[NetworkCost] = None
+    best_edp = math.inf
+    evaluations = 0
+
+    for iteration in range(network_iterations):
+        fitnesses = []
+        for arch in population:
+            network = build_subnet(arch)
+            sizing = search_sizing_only(
+                [network], constraint, reference, cost_model,
+                population=sizing_population, iterations=sizing_iterations,
+                seed=spawn_rngs(rng, 1)[0])
+            evaluations += 1
+            fitnesses.append(sizing.best_reward)
+            if sizing.best_reward < best_edp and sizing.found:
+                best_edp = sizing.best_reward
+                best_arch = arch
+                best_config = sizing.best_config
+                best_cost = sizing.network_costs.get(network.name)
+        if iteration == network_iterations - 1:
+            break
+        ranked = sorted(zip(fitnesses, range(len(population))),
+                        key=lambda pair: pair[0])
+        parents = [population[i] for _, i in
+                   ranked[:max(2, len(population) // 4)]]
+        next_population = list(parents)
+        while len(next_population) < network_population:
+            if rng.random() < 0.5:
+                child = space.mutate(
+                    parents[int(rng.integers(len(parents)))], 0.15, seed=rng)
+            else:
+                a, b = rng.integers(len(parents)), rng.integers(len(parents))
+                child = space.crossover(parents[int(a)], parents[int(b)],
+                                        seed=rng)
+            if predictor(child) >= accuracy_floor:
+                next_population.append(child)
+            else:
+                fallback = admissible(max_attempts=16)
+                if fallback is not None:
+                    next_population.append(fallback)
+        population = next_population
+        logger.debug("NHAS iter %d best EDP %.3e", iteration, best_edp)
+
+    accuracy = predictor(best_arch) if best_arch else 0.0
+    return NHASResult(
+        best_arch=best_arch,
+        best_config=best_config,
+        best_cost=best_cost,
+        best_accuracy=accuracy,
+        best_edp=best_edp,
+        network_evaluations=evaluations,
+    )

@@ -1,0 +1,101 @@
+"""Search-cost accounting (Table IV).
+
+The table compares GPU-days of co-search + network training for N
+deployment scenarios, priced at $75 per GPU-day on AWS P3.16xlarge with
+7.5 lbs CO2 per GPU-day (Strubell et al.). NASAIC's meta-controller
+trains ~500 candidate networks from scratch (12 GPU-days each, projected
+from Cifar); NHAS decouples training but retrains the searched network
+per deployment (16 GPU-days) on top of a 12 + 4N search; NAAS trains the
+Once-For-All supernet once (~50 GPU-days) and searches at negligible
+cost (<0.25 GPU-days per scenario).
+
+Besides the paper's published formulas, :func:`measured_naas_gpu_days`
+converts *this reproduction's* measured evaluation counts and wall-clock
+into the same units, so the bench can report a measured row.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+AWS_DOLLARS_PER_GPU_DAY = 75.0
+CO2_LBS_PER_GPU_DAY = 7.5
+
+#: Published accounting constants (Table IV).
+NASAIC_CANDIDATES = 500
+NASAIC_TRAIN_GDS_PER_CANDIDATE = 12.0
+NASAIC_RETRAIN_GDS = 16.0
+NHAS_BASE_SEARCH_GDS = 12.0
+NHAS_SEARCH_GDS_PER_SCENARIO = 4.0
+NHAS_RETRAIN_GDS = 16.0
+OFA_TRAIN_GDS = 50.0
+NAAS_SEARCH_GDS_PER_SCENARIO = 0.25
+
+SECONDS_PER_GPU_DAY = 24 * 3600.0
+
+
+@dataclasses.dataclass(frozen=True)
+class SearchCostReport:
+    """One row of Table IV."""
+
+    approach: str
+    co_search_gds: float
+    training_gds: float
+
+    @property
+    def total_gds(self) -> float:
+        return self.co_search_gds + self.training_gds
+
+    @property
+    def aws_dollars(self) -> float:
+        return self.total_gds * AWS_DOLLARS_PER_GPU_DAY
+
+    @property
+    def co2_lbs(self) -> float:
+        return self.total_gds * CO2_LBS_PER_GPU_DAY
+
+
+def nasaic_cost(num_scenarios: int) -> SearchCostReport:
+    """NASAIC: every candidate trained from scratch, per scenario."""
+    co_search = NASAIC_CANDIDATES * NASAIC_TRAIN_GDS_PER_CANDIDATE * num_scenarios
+    return SearchCostReport("NASAIC", co_search,
+                            NASAIC_RETRAIN_GDS * num_scenarios)
+
+
+def nhas_cost(num_scenarios: int) -> SearchCostReport:
+    """NHAS: decoupled search, but retrains per deployment."""
+    co_search = NHAS_BASE_SEARCH_GDS + NHAS_SEARCH_GDS_PER_SCENARIO * num_scenarios
+    return SearchCostReport("NHAS", co_search,
+                            NHAS_RETRAIN_GDS * num_scenarios)
+
+
+def naas_cost(num_scenarios: int,
+              search_gds_per_scenario: float = NAAS_SEARCH_GDS_PER_SCENARIO,
+              ) -> SearchCostReport:
+    """NAAS: OFA trained once, cheap evolutionary search per scenario."""
+    return SearchCostReport("NAAS (ours)",
+                            search_gds_per_scenario * num_scenarios,
+                            OFA_TRAIN_GDS)
+
+
+def measured_naas_gpu_days(wall_clock_seconds: float) -> float:
+    """Convert this reproduction's measured search time into GPU-days."""
+    return wall_clock_seconds / SECONDS_PER_GPU_DAY
+
+
+def search_cost_table(num_scenarios: int,
+                      measured_seconds_per_scenario: float = 0.0,
+                      ) -> List[SearchCostReport]:
+    """All Table IV rows; optionally appends a measured-cost row."""
+    rows = [
+        nasaic_cost(num_scenarios),
+        nhas_cost(num_scenarios),
+        naas_cost(num_scenarios),
+    ]
+    if measured_seconds_per_scenario > 0:
+        measured = measured_naas_gpu_days(
+            measured_seconds_per_scenario * num_scenarios)
+        rows.append(SearchCostReport(
+            "NAAS (this repro, measured)", measured, OFA_TRAIN_GDS))
+    return rows

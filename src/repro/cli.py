@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``models``
+    List the benchmark model zoo with layer/MAC statistics.
+``presets``
+    List the baseline accelerator presets and their resources.
+``evaluate``
+    Evaluate a model on a preset with the native compiler heuristic.
+``search``
+    Run the NAAS hardware+mapping search for a model within a preset's
+    resource budget and report gains over the preset.
+``experiment``
+    Run one of the paper's experiments (fig4..table4) and print its
+    table and claim checklist.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.accelerator.presets import (
+    BASELINE_PRESETS,
+    baseline_constraint,
+    baseline_preset,
+)
+from repro.cost.model import CostModel
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.config import get_profile
+from repro.mapping.builders import dataflow_preserving_mapping
+from repro.models import MODEL_BUILDERS, build_model
+from repro.search.accelerator_search import search_accelerator
+from repro.utils.serialization import to_jsonable
+from repro.utils.tables import render_table
+
+
+def _cmd_models(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(MODEL_BUILDERS):
+        net = build_model(name)
+        rows.append((name, len(net), len(net.unique_shapes()),
+                     net.total_macs / 1e9,
+                     net.total_weight_elements / 1e6))
+    print(render_table(
+        ["model", "layers", "unique shapes", "GMACs", "Mparams"], rows))
+    return 0
+
+
+def _cmd_presets(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(BASELINE_PRESETS):
+        preset = baseline_preset(name)
+        rows.append((name,
+                     "x".join(str(d) for d in preset.array_dims),
+                     "-".join(d.name for d in preset.parallel_dims),
+                     preset.num_pes,
+                     preset.l1_bytes,
+                     preset.l2_bytes // 1024,
+                     preset.dram_bandwidth,
+                     preset.onchip_bytes // 1024))
+    print(render_table(
+        ["preset", "array", "dataflow", "#PEs", "L1 (B)", "L2 (KB)",
+         "BW (B/cyc)", "on-chip (KB)"], rows))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    cost_model = CostModel()
+    preset = baseline_preset(args.preset)
+    network = build_model(args.model, batch=args.batch)
+    cost = cost_model.evaluate_network(
+        network, preset, lambda l: dataflow_preserving_mapping(l, preset))
+    if not cost.valid:
+        bad = [(c.layer_name, c.reasons) for c in cost.layer_costs
+               if not c.valid]
+        print(f"INVALID: {bad[:3]}", file=sys.stderr)
+        return 1
+    print(f"{args.model} on {preset.describe()}")
+    print(f"  cycles      = {cost.total_cycles:.4e}")
+    print(f"  energy      = {cost.total_energy_nj:.4e} nJ")
+    print(f"  EDP         = {cost.edp:.4e} cycles*nJ")
+    print(f"  utilization = {cost.mean_utilization:.1%}")
+    if args.per_layer:
+        rows = [(c.layer_name, c.cycles, c.energy_nj,
+                 f"{c.utilization:.1%}", c.latency.bottleneck)
+                for c in cost.layer_costs]
+        print(render_table(
+            ["layer", "cycles", "energy (nJ)", "util", "bottleneck"], rows))
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    profile = get_profile(args.profile)
+    cost_model = CostModel()
+    preset = baseline_preset(args.preset)
+    network = build_model(args.model)
+    baseline = cost_model.evaluate_network(
+        network, preset, lambda l: dataflow_preserving_mapping(l, preset))
+
+    result = search_accelerator(
+        [network], baseline_constraint(args.preset), cost_model,
+        budget=profile.naas, seed=args.seed, seed_configs=[preset])
+    if not result.found:
+        print("search found no valid design", file=sys.stderr)
+        return 1
+
+    found = result.network_costs[network.name]
+    print(f"baseline : {preset.describe()}")
+    print(f"searched : {result.best_config.describe()}")
+    print(f"speedup        = {baseline.total_cycles / found.total_cycles:.2f}x")
+    print(f"energy saving  = "
+          f"{baseline.total_energy_nj / found.total_energy_nj:.2f}x")
+    print(f"EDP reduction  = {baseline.edp / found.edp:.2f}x")
+    if args.output:
+        payload = {
+            "config": to_jsonable(result.best_config),
+            "edp": result.best_reward,
+            "baseline_edp": baseline.edp,
+            "mappings": {name: to_jsonable(m)
+                         for name, m in result.best_mappings.items()},
+        }
+        with open(args.output, "w") as f:
+            json.dump(payload, f, indent=2)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = run_experiment(args.name, profile=args.profile, seed=args.seed)
+    print(result.render())
+    return 0 if result.all_claims_hold else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NAAS (DAC 2021) reproduction command-line interface")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the benchmark model zoo")
+    sub.add_parser("presets", help="list baseline accelerator presets")
+
+    evaluate = sub.add_parser("evaluate",
+                              help="evaluate a model on a preset")
+    evaluate.add_argument("model", choices=sorted(MODEL_BUILDERS))
+    evaluate.add_argument("preset", choices=sorted(BASELINE_PRESETS))
+    evaluate.add_argument("--batch", type=int, default=1)
+    evaluate.add_argument("--per-layer", action="store_true")
+
+    search = sub.add_parser("search", help="run the NAAS search")
+    search.add_argument("model", choices=sorted(MODEL_BUILDERS))
+    search.add_argument("preset", choices=sorted(BASELINE_PRESETS))
+    search.add_argument("--profile", default="",
+                        help="budget profile (quick/full/paper)")
+    search.add_argument("--seed", type=int, default=0)
+    search.add_argument("--output", help="write best design JSON here")
+
+    experiment = sub.add_parser("experiment",
+                                help="run one paper experiment")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--profile", default="")
+    experiment.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "models": _cmd_models,
+        "presets": _cmd_presets,
+        "evaluate": _cmd_evaluate,
+        "search": _cmd_search,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

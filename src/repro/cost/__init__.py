@@ -1,0 +1,23 @@
+"""Analytical accelerator cost model (the MAESTRO substitute).
+
+Given a (layer, accelerator, mapping) triple the model reports latency in
+cycles, energy in nJ, EDP, utilization, per-level traffic and buffer
+requirements. The core is a *reuse-window* analysis (:mod:`repro.cost.reuse`)
+applied twice:
+
+- at the **array level** (DRAM <-> L2) on tile-granular loops, budgeted by
+  the L2 capacity, and
+- at the **PE level** (L2 <-> PE) on element-granular loops, budgeted by
+  the per-PE L1 capacity,
+
+combined with spatial multicast/reduction factors from the array's
+parallel dimensions. Absolute joules/cycles are calibrated to
+Eyeriss/Accelergy-style per-access energies; the search only consumes
+*relative* orderings, which is what the analysis preserves.
+"""
+
+from repro.cost.config import CostParams
+from repro.cost.model import CostModel
+from repro.cost.report import LayerCost, NetworkCost
+
+__all__ = ["CostModel", "CostParams", "LayerCost", "NetworkCost"]

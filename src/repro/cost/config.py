@@ -1,0 +1,79 @@
+"""Tunable parameters of the analytical cost model.
+
+Per-access energies follow the well-known Eyeriss/Accelergy hierarchy
+ratios (register file ~ 1x MAC, global buffer ~ 6x, DRAM ~ 200x). Buffer
+access energy scales with the square root of capacity, the standard CACTI
+first-order behaviour, normalized at the reference sizes below.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+
+@dataclasses.dataclass(frozen=True)
+class CostParams:
+    """Energy/latency/capacity knobs for :class:`repro.cost.model.CostModel`.
+
+    Energies are picojoules per byte (or per MAC), latency in cycles.
+    """
+
+    #: Energy of one 8-bit MAC in pJ; scaled quadratically with operand bits
+    #: (multiplier area/energy grows ~ bits^2).
+    mac_pj_8bit: float = 0.25
+
+    #: L1 (per-PE scratchpad) access energy per byte at the reference size.
+    l1_pj_per_byte: float = 0.15
+    l1_reference_bytes: int = 512
+
+    #: L2 (global buffer) access energy per byte at the reference size.
+    l2_pj_per_byte: float = 0.9
+    l2_reference_bytes: int = 128 * 1024
+
+    #: DRAM access energy per byte.
+    dram_pj_per_byte: float = 25.0
+
+    #: NoC transfer energy per byte at the reference array size.
+    noc_pj_per_byte: float = 0.3
+    noc_reference_pes: int = 256
+
+    #: Static power in pJ/cycle per PE and per KB of on-chip SRAM.
+    static_pj_per_cycle_per_pe: float = 0.04
+    static_pj_per_cycle_per_kb: float = 0.06
+
+    #: Partial sums accumulate at this width (bytes) until written back.
+    psum_bytes: int = 4
+
+    #: L2 bandwidth to the array, bytes/cycle per unit of array perimeter
+    #: (sum of array axis sizes). Models the row/column bus structure of
+    #: Eyeriss-class NoCs.
+    l2_bytes_per_cycle_per_perimeter: float = 2.0
+
+    #: Fraction of the L2 that must be left free for double buffering the
+    #: next tile; 0 disables double-buffer accounting.
+    double_buffer_fraction: float = 0.0
+
+    def mac_pj(self, bits: int) -> float:
+        """MAC energy for the given operand precision."""
+        return self.mac_pj_8bit * (bits / 8.0) ** 2
+
+    def l1_pj(self, l1_bytes: int) -> float:
+        """Per-byte L1 access energy for a given capacity."""
+        return self.l1_pj_per_byte * math.sqrt(max(1, l1_bytes) / self.l1_reference_bytes)
+
+    def l2_pj(self, l2_bytes: int) -> float:
+        """Per-byte L2 access energy for a given capacity."""
+        return self.l2_pj_per_byte * math.sqrt(max(1, l2_bytes) / self.l2_reference_bytes)
+
+    def noc_pj(self, num_pes: int) -> float:
+        """Per-byte NoC energy; wires lengthen with array radius."""
+        return self.noc_pj_per_byte * math.sqrt(max(1, num_pes) / self.noc_reference_pes)
+
+    def static_pj_per_cycle(self, num_pes: int, onchip_bytes: int) -> float:
+        """Leakage per cycle for the whole chip."""
+        return (self.static_pj_per_cycle_per_pe * num_pes
+                + self.static_pj_per_cycle_per_kb * onchip_bytes / 1024.0)
+
+
+DEFAULT_PARAMS = CostParams()

@@ -1,0 +1,119 @@
+"""Bottleneck diagnosis: explain *why* a design point costs what it does.
+
+Research users of a cost model want more than a number — they want to
+know which resource binds each layer (compute, DRAM, L2 ports), where
+the energy goes, and which layers dominate the network totals. This
+module renders those views; `examples/mapping_search_layer.py` and the
+CLI's ``evaluate --per-layer`` build on it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Tuple
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.cost.model import CostModel
+from repro.cost.report import LayerCost, NetworkCost
+from repro.mapping.mapping import Mapping
+from repro.tensors.layer import ConvLayer
+from repro.tensors.network import Network
+from repro.utils.tables import render_table
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerDiagnosis:
+    """One layer's share of runtime/energy plus its binding resource."""
+
+    layer_name: str
+    cycles: float
+    cycle_share: float
+    energy_nj: float
+    energy_share: float
+    utilization: float
+    bottleneck: str
+    dominant_energy_term: str
+
+
+def diagnose_network(network: Network, accel: AcceleratorConfig,
+                     mapping_for: Callable[[ConvLayer], Mapping],
+                     cost_model: CostModel,
+                     ) -> Tuple[NetworkCost, List[LayerDiagnosis]]:
+    """Evaluate and break down a network; returns (cost, per-layer rows)."""
+    cost = cost_model.evaluate_network(network, accel, mapping_for)
+    total_cycles = max(1e-12, cost.total_cycles)
+    total_energy = max(1e-12, cost.total_energy_nj)
+    rows: List[LayerDiagnosis] = []
+    for layer_cost in cost.layer_costs:
+        rows.append(_diagnose_layer(layer_cost, total_cycles, total_energy))
+    return cost, rows
+
+
+def _diagnose_layer(cost: LayerCost, total_cycles: float,
+                    total_energy: float) -> LayerDiagnosis:
+    if not cost.valid:
+        return LayerDiagnosis(
+            layer_name=cost.layer_name, cycles=float("inf"), cycle_share=0.0,
+            energy_nj=float("inf"), energy_share=0.0, utilization=0.0,
+            bottleneck="invalid", dominant_energy_term="invalid")
+    breakdown = cost.energy.breakdown()
+    dominant = max(breakdown, key=breakdown.get)
+    return LayerDiagnosis(
+        layer_name=cost.layer_name,
+        cycles=cost.cycles,
+        cycle_share=cost.cycles / total_cycles,
+        energy_nj=cost.energy_nj,
+        energy_share=cost.energy_nj / total_energy,
+        utilization=cost.utilization,
+        bottleneck=cost.latency.bottleneck,
+        dominant_energy_term=dominant,
+    )
+
+
+def hotspots(diagnoses: List[LayerDiagnosis], top: int = 5,
+             ) -> List[LayerDiagnosis]:
+    """The layers that dominate runtime (descending cycle share)."""
+    return sorted(diagnoses, key=lambda d: -d.cycle_share)[:top]
+
+
+def bottleneck_histogram(diagnoses: List[LayerDiagnosis]) -> Dict[str, int]:
+    """How many layers each resource binds (compute / dram / l2)."""
+    histogram: Dict[str, int] = {}
+    for diagnosis in diagnoses:
+        histogram[diagnosis.bottleneck] = \
+            histogram.get(diagnosis.bottleneck, 0) + 1
+    return histogram
+
+
+def render_diagnosis(diagnoses: List[LayerDiagnosis], top: int = 10) -> str:
+    """ASCII report of the top-``top`` layers by cycle share."""
+    rows = [(d.layer_name, d.cycles, f"{d.cycle_share:.1%}",
+             d.energy_nj, f"{d.energy_share:.1%}",
+             f"{d.utilization:.1%}", d.bottleneck, d.dominant_energy_term)
+            for d in hotspots(diagnoses, top)]
+    return render_table(
+        ["layer", "cycles", "cyc%", "energy (nJ)", "en%", "util",
+         "bottleneck", "energy term"], rows)
+
+
+def sparkline(values: List[float], width: int = 40) -> str:
+    """ASCII sparkline for convergence curves (Fig 4-style reports)."""
+    if not values:
+        return ""
+    glyphs = " .:-=+*#%@"
+    finite = [v for v in values if v == v and v not in (float("inf"),)]
+    if not finite:
+        return "?" * min(width, len(values))
+    lo, hi = min(finite), max(finite)
+    span = hi - lo or 1.0
+    # resample to width
+    step = max(1, len(values) // width)
+    sampled = values[::step][:width]
+    chars = []
+    for value in sampled:
+        if value != value or value == float("inf"):
+            chars.append("!")
+        else:
+            level = int((value - lo) / span * (len(glyphs) - 1))
+            chars.append(glyphs[level])
+    return "".join(chars)

@@ -1,0 +1,70 @@
+"""Energy model: per-access energies applied to the traffic breakdown.
+
+All terms in picojoules. The hierarchy ratios (L1 ~ MAC, L2 ~ 6x,
+DRAM ~ 100-200x) follow the Eyeriss energy breakdown; buffer energies
+scale with sqrt(capacity) and NoC energy with array radius. A static
+(leakage) term proportional to chip resources and runtime cycles makes
+over-provisioned hardware pay for idle silicon.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.cost.config import CostParams
+from repro.cost.traffic import TrafficReport
+from repro.tensors.layer import ConvLayer
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyReport:
+    """Energy terms in pJ; ``total_pj`` is their sum."""
+
+    mac_pj: float
+    l1_pj: float
+    l2_pj: float
+    dram_pj: float
+    noc_pj: float
+    static_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return (self.mac_pj + self.l1_pj + self.l2_pj + self.dram_pj
+                + self.noc_pj + self.static_pj)
+
+    @property
+    def total_nj(self) -> float:
+        return self.total_pj / 1000.0
+
+    def breakdown(self) -> dict:
+        """Fractional breakdown for reports (sums to ~1)."""
+        total = self.total_pj or 1.0
+        return {
+            "mac": self.mac_pj / total,
+            "l1": self.l1_pj / total,
+            "l2": self.l2_pj / total,
+            "dram": self.dram_pj / total,
+            "noc": self.noc_pj / total,
+            "static": self.static_pj / total,
+        }
+
+
+def analyze_energy(layer: ConvLayer, accel: AcceleratorConfig,
+                   traffic: TrafficReport, cycles: float,
+                   params: CostParams) -> EnergyReport:
+    """Total energy for the layer from the traffic report and runtime."""
+    mac = layer.macs * params.mac_pj(layer.bits)
+    l1 = traffic.l1_bytes * params.l1_pj(accel.l1_bytes)
+    l2 = traffic.total_l2_bytes * params.l2_pj(accel.l2_bytes)
+    dram = traffic.total_dram_bytes * params.dram_pj_per_byte
+    noc_rate = params.noc_pj(accel.num_pes)
+    # Forwarded halo elements hop a single neighbour link (cheap); the
+    # reduction tree moves one psum per merge.
+    noc = (traffic.noc_bytes * noc_rate
+           + traffic.forwarded_bytes * noc_rate * 0.5
+           + traffic.reduction_bytes * noc_rate)
+    static = cycles * params.static_pj_per_cycle(accel.num_pes,
+                                                 accel.onchip_bytes)
+    return EnergyReport(mac_pj=mac, l1_pj=l1, l2_pj=l2, dram_pj=dram,
+                        noc_pj=noc, static_pj=static)

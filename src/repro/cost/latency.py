@@ -1,0 +1,56 @@
+"""Latency model: compute/memory roofline over the traffic analysis.
+
+Tiles are double-buffered, so steady-state latency is the max of the
+compute stream, the DRAM stream and the L2 port stream, plus the initial
+fill of the resident working set. Each PE retires one MAC per cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.cost.config import CostParams
+from repro.cost.traffic import TrafficReport
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyReport:
+    """Cycle counts per bottleneck; ``cycles`` is the binding one."""
+
+    compute_cycles: float
+    dram_cycles: float
+    l2_cycles: float
+    fill_cycles: float
+
+    @property
+    def cycles(self) -> float:
+        return max(self.compute_cycles, self.dram_cycles,
+                   self.l2_cycles) + self.fill_cycles
+
+    @property
+    def bottleneck(self) -> str:
+        peak = max(self.compute_cycles, self.dram_cycles, self.l2_cycles)
+        if peak == self.compute_cycles:
+            return "compute"
+        if peak == self.dram_cycles:
+            return "dram"
+        return "l2"
+
+
+def l2_bandwidth_bytes_per_cycle(accel: AcceleratorConfig,
+                                 params: CostParams) -> float:
+    """L2->array bandwidth: scales with the array perimeter (bus count)."""
+    perimeter = sum(accel.array_dims)
+    return max(1.0, perimeter * params.l2_bytes_per_cycle_per_perimeter)
+
+
+def analyze_latency(accel: AcceleratorConfig, traffic: TrafficReport,
+                    params: CostParams) -> LatencyReport:
+    """Roofline latency from the traffic report."""
+    compute = float(traffic.tiles_count) * float(traffic.steps_per_tile)
+    dram = traffic.total_dram_bytes / accel.dram_bandwidth
+    l2 = traffic.total_l2_bytes / l2_bandwidth_bytes_per_cycle(accel, params)
+    fill = traffic.first_tile_fill_bytes / accel.dram_bandwidth
+    return LatencyReport(compute_cycles=compute, dram_cycles=dram,
+                         l2_cycles=l2, fill_cycles=fill)

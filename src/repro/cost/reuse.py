@@ -1,0 +1,159 @@
+"""Reuse-window analysis: the core of the analytical cost model.
+
+Given a temporal loop nest (outermost first) over a buffer of fixed
+capacity, this module computes, per operand, the *reuse window*: the
+maximal inner suffix of loops whose operand footprint fits in the buffer.
+Elements inside the window are fetched once per sweep of the loops
+outside it, which yields the operand's delivery (traffic) count.
+
+Two properties make this exact enough for design-space ranking:
+
+- loops **irrelevant** to an operand never grow its footprint, so they
+  extend the window for free (pure temporal reuse), and
+- a **relevant** loop whose inclusion would overflow the buffer ends the
+  window; every loop at or outside it multiplies traffic, including any
+  irrelevant loops outside it (their re-iterations re-sweep evicted data).
+
+The same routine serves both hierarchy levels: DRAM<->L2 with
+tile-granular extents budgeted by the L2, and L2<->PE with
+element-granular extents budgeted by the per-PE L1.
+
+The implementation is integer-indexed (7-tuples per
+:data:`repro.tensors.dims.DIM_INDEX`) because this function runs hundreds
+of thousands of times inside the evolutionary search.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cost.operands import (
+    OPERANDS,
+    Operand,
+    element_bytes,
+    footprint_elements_idx,
+    relevance_masks,
+)
+from repro.tensors.dims import INDEX_DIM, Dim
+from repro.tensors.layer import ConvLayer
+
+#: One temporal loop in index form: (dim index, trip count), outermost first.
+IdxLoop = Tuple[int, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class WindowResult:
+    """Reuse window of one operand within one loop nest."""
+
+    #: Covered loop extents inside the window, indexed by DIM_INDEX.
+    extents: Tuple[int, ...]
+    #: Distinct operand elements inside the window.
+    window_elements: int
+    #: Bytes of buffer the window occupies.
+    footprint_bytes: float
+    #: Product of trip counts of loops outside the window.
+    outside_trips: int
+
+    @property
+    def deliveries(self) -> int:
+        """Element-fetch events into the buffer across the whole nest."""
+        return self.window_elements * self.outside_trips
+
+    def extents_by_dim(self) -> Dict[Dim, int]:
+        """Dim-keyed view of the window extents (reporting only)."""
+        return {dim: self.extents[i] for i, dim in enumerate(INDEX_DIM)}
+
+
+@dataclasses.dataclass(frozen=True)
+class ReuseAnalysis:
+    """Per-operand windows, or infeasibility with a reason."""
+
+    windows: Dict[Operand, WindowResult]
+    feasible: bool
+    reason: str = ""
+
+    def deliveries(self, operand: Operand) -> int:
+        return self.windows[operand].deliveries
+
+
+#: Growth priority: psum residency saves the most traffic per byte, then
+#: weights (smallest tensors), then inputs.
+GROW_ORDER: Tuple[Operand, ...] = OPERANDS
+
+
+def analyze_reuse(layer: ConvLayer,
+                  loops: Sequence[IdxLoop],
+                  base_extents: Sequence[int],
+                  caps: Sequence[int],
+                  budget_bytes: float,
+                  psum_bytes: int,
+                  ) -> ReuseAnalysis:
+    """Compute reuse windows for all three operands under a shared budget.
+
+    Parameters
+    ----------
+    loops:
+        Temporal loops outermost-first as (dim index, trips) pairs.
+    base_extents:
+        7-sequence of minimum extents resident at all times (tile sizes
+        at the array level; all ones at the PE level).
+    caps:
+        7-sequence upper-bounding the covered extent per dimension
+        (dimension sizes at the array level; per-PE share at PE level).
+    budget_bytes:
+        Buffer capacity shared by the three operands.
+    """
+    masks = relevance_masks(layer)
+    bytes_per = {op: element_bytes(layer, op, psum_bytes) for op in OPERANDS}
+
+    extents: Dict[Operand, List[int]] = {}
+    footprints: Dict[Operand, float] = {}
+    total = 0.0
+    for op in OPERANDS:
+        ext = [min(base_extents[i], caps[i]) for i in range(7)]
+        extents[op] = ext
+        fp = footprint_elements_idx(layer, op, ext) * bytes_per[op]
+        footprints[op] = fp
+        total += fp
+    if total > budget_bytes:
+        return ReuseAnalysis(windows={}, feasible=False,
+                             reason=f"base footprint {total:.0f} B exceeds "
+                                    f"budget {budget_bytes:.0f} B")
+
+    active = {op: True for op in OPERANDS}
+    # Loops at indices < window_start[op] are outside the operand's window.
+    window_start = {op: 0 for op in OPERANDS}
+
+    for position in range(len(loops) - 1, -1, -1):
+        dim_idx, trips = loops[position]
+        if trips <= 1:
+            continue
+        for op in GROW_ORDER:
+            if not active[op] or not masks[op][dim_idx]:
+                continue
+            ext = extents[op]
+            old_value = ext[dim_idx]
+            ext[dim_idx] = min(caps[dim_idx], old_value * trips)
+            new_footprint = footprint_elements_idx(layer, op, ext) * bytes_per[op]
+            if total - footprints[op] + new_footprint <= budget_bytes:
+                total += new_footprint - footprints[op]
+                footprints[op] = new_footprint
+            else:
+                ext[dim_idx] = old_value
+                active[op] = False
+                window_start[op] = position + 1
+
+    windows: Dict[Operand, WindowResult] = {}
+    for op in OPERANDS:
+        outside = 1
+        for position in range(window_start[op]):
+            outside *= loops[position][1]
+        window_elems = footprint_elements_idx(layer, op, extents[op])
+        windows[op] = WindowResult(
+            extents=tuple(extents[op]),
+            window_elements=window_elems,
+            footprint_bytes=footprints[op],
+            outside_trips=outside,
+        )
+    return ReuseAnalysis(windows=windows, feasible=True)

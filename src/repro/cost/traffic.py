@@ -1,0 +1,195 @@
+"""Traffic assembly: DRAM, L2/NoC and L1 byte counts for a mapping.
+
+Combines the two reuse-window analyses (array level, PE level) with the
+spatial multicast/reduction behaviour implied by the accelerator's
+parallel dimensions:
+
+- an array axis whose parallel dim is *irrelevant* to an operand
+  multicasts one L2 read to every PE on the axis;
+- an axis parallelizing a *reduction* dim (C/R/S) spatially accumulates
+  partial sums, so only one value per step reaches the L2;
+- axes parallelizing output rows/columns forward overlapping input
+  halo elements between neighbouring PEs (ShiDianNao/Eyeriss style),
+  discounting L2 reads in favour of cheap NoC hops.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.cost.config import CostParams
+from repro.cost.operands import Operand, relevant_dims, total_elements
+from repro.cost.reuse import analyze_reuse
+from repro.mapping.mapping import Mapping
+from repro.tensors.dims import DIM_INDEX, REDUCTION_DIMS, Dim
+from repro.tensors.layer import ConvLayer
+from repro.utils.mathutils import ceil_div, prod
+
+
+@dataclasses.dataclass(frozen=True)
+class TrafficReport:
+    """Byte counts per memory level (whole layer), plus loop statistics."""
+
+    feasible: bool
+    reasons: Tuple[str, ...]
+    # DRAM
+    dram_read_bytes: float = 0.0
+    dram_write_bytes: float = 0.0
+    # L2 (global buffer) port traffic
+    l2_read_bytes: float = 0.0
+    l2_write_bytes: float = 0.0
+    # NoC movement
+    noc_bytes: float = 0.0
+    forwarded_bytes: float = 0.0
+    reduction_bytes: float = 0.0
+    # L1 (per-PE) traffic
+    l1_bytes: float = 0.0
+    # Loop statistics for the latency model
+    tiles_count: int = 0
+    steps_per_tile: int = 0
+    active_pes: int = 0
+    first_tile_fill_bytes: float = 0.0
+
+    @property
+    def total_dram_bytes(self) -> float:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    @property
+    def total_l2_bytes(self) -> float:
+        return self.l2_read_bytes + self.l2_write_bytes
+
+
+def _axis_efficiencies(layer: ConvLayer, accel: AcceleratorConfig,
+                       tiles7: List[int]) -> List[Tuple[Dim, int]]:
+    """Effective active extent per array axis: ``min(axis size, tile)``."""
+    return [(dim, min(size, tiles7[DIM_INDEX[dim]]))
+            for dim, size in zip(accel.parallel_dims, accel.array_dims)]
+
+
+def analyze_traffic(layer: ConvLayer, accel: AcceleratorConfig,
+                    mapping: Mapping, params: CostParams) -> TrafficReport:
+    """Full traffic analysis for one layer on one accelerator."""
+    sizes = layer.sizes7
+    bpe = layer.bytes_per_element
+    psum = params.psum_bytes
+
+    tiles7 = [1] * 7
+    tiles7[0] = 1  # one batch sample staged at a time
+    for dim, tile in mapping.tiles:
+        idx = DIM_INDEX[dim]
+        tiles7[idx] = min(tile, sizes[idx])
+
+    # ---- Array level: DRAM <-> L2, tile-granular --------------------------
+    outer_trips = [ceil_div(sizes[i], tiles7[i]) for i in range(7)]
+    array_loops = [(0, layer.n)] + [(DIM_INDEX[d], outer_trips[DIM_INDEX[d]])
+                                    for d in mapping.array_order]
+    caps_array = list(sizes)
+    l2_budget = accel.l2_bytes * (1.0 - params.double_buffer_fraction)
+    array_analysis = analyze_reuse(layer, array_loops, tiles7, caps_array,
+                                   l2_budget, psum)
+    if not array_analysis.feasible:
+        return TrafficReport(feasible=False,
+                             reasons=(f"L2 overflow: {array_analysis.reason}",))
+
+    dram_read = 0.0
+    for op in (Operand.WEIGHT, Operand.INPUT):
+        deliveries = max(array_analysis.deliveries(op), total_elements(layer, op))
+        dram_read += deliveries * bpe
+    out_deliveries = max(array_analysis.deliveries(Operand.OUTPUT),
+                         total_elements(layer, Operand.OUTPUT))
+    out_distinct = total_elements(layer, Operand.OUTPUT)
+    out_revisits = max(0, out_deliveries - out_distinct)
+    dram_write = out_distinct * bpe + out_revisits * psum
+    dram_rmw_read = out_revisits * psum
+    dram_read += dram_rmw_read
+
+    # ---- PE level: L2 <-> PE, element-granular -----------------------------
+    axis_eff = _axis_efficiencies(layer, accel, tiles7)
+    mid_trips = list(tiles7)
+    mid_trips[0] = 1
+    for dim, eff in axis_eff:
+        idx = DIM_INDEX[dim]
+        mid_trips[idx] = ceil_div(tiles7[idx], eff)
+    pe_loops = [(DIM_INDEX[d], mid_trips[DIM_INDEX[d]]) for d in mapping.pe_order]
+    base_pe = [1] * 7
+    pe_analysis = analyze_reuse(layer, pe_loops, base_pe, mid_trips,
+                                float(accel.l1_bytes), psum)
+    if not pe_analysis.feasible:
+        return TrafficReport(feasible=False,
+                             reasons=(f"L1 overflow: {pe_analysis.reason}",))
+
+    tiles_count = layer.n * int(prod(outer_trips[1:]))
+    steps_per_tile = int(prod(mid_trips[1:]))
+    active_pes = int(prod(eff for _, eff in axis_eff))
+
+    l2_read = 0.0
+    noc = 0.0
+    forwarded = 0.0
+    for op in (Operand.WEIGHT, Operand.INPUT):
+        per_pe = pe_analysis.deliveries(op)
+        unique_factor = 1.0
+        forward_discount = 1.0
+        op_relevance = relevant_dims(layer, op)
+        for dim, eff in axis_eff:
+            if dim not in op_relevance:
+                continue
+            unique_factor *= eff
+            if op is Operand.INPUT and dim in (Dim.Y, Dim.X):
+                kernel = layer.r if dim is Dim.Y else layer.s
+                # Neighbouring PEs share (kernel - stride) of each halo;
+                # forwarded elements cost NoC hops instead of L2 reads.
+                forward_discount *= min(eff, max(1, kernel // layer.stride))
+        unique = per_pe * unique_factor * tiles_count * bpe
+        kept = unique / forward_discount
+        l2_read += kept
+        forwarded += unique - kept
+        noc += unique
+
+    # Partial sums: spatial reduction merges across reduction axes.
+    out_relevance = relevant_dims(layer, Operand.OUTPUT)
+    out_factor = prod(eff for dim, eff in axis_eff if dim in out_relevance)
+    per_pe_out = pe_analysis.deliveries(Operand.OUTPUT)
+    unique_out = per_pe_out * out_factor * tiles_count
+    tile_outputs = (tiles7[DIM_INDEX[Dim.K]] * tiles7[DIM_INDEX[Dim.Y]]
+                    * tiles7[DIM_INDEX[Dim.X]])
+    l2_psum_write = unique_out * psum
+    l2_psum_read = max(0.0, (unique_out - tile_outputs * tiles_count)) * psum
+    noc += unique_out * psum
+
+    reduction_span = prod(eff for dim, eff in axis_eff
+                          if dim in REDUCTION_DIMS)
+    merges_per_step = active_pes - active_pes / max(1, reduction_span)
+    reduction_bytes = merges_per_step * steps_per_tile * tiles_count * psum
+
+    # L2 also serves the DRAM interface (fills and drains pass through it).
+    l2_write = l2_psum_write + dram_read
+    l2_read_total = l2_read + l2_psum_read + dram_write
+
+    # L1 traffic: fills from the NoC plus per-MAC operand/psum accesses.
+    per_pe_fills = (pe_analysis.deliveries(Operand.WEIGHT)
+                    + pe_analysis.deliveries(Operand.INPUT)) * bpe
+    l1_fill = per_pe_fills * active_pes * tiles_count
+    l1_compute = layer.macs * (2 * bpe + 2 * psum)
+    l1_total = l1_fill + l1_compute
+
+    first_fill = sum(array_analysis.windows[op].footprint_bytes
+                     for op in (Operand.WEIGHT, Operand.INPUT))
+
+    return TrafficReport(
+        feasible=True,
+        reasons=(),
+        dram_read_bytes=dram_read,
+        dram_write_bytes=dram_write,
+        l2_read_bytes=l2_read_total,
+        l2_write_bytes=l2_write,
+        noc_bytes=noc,
+        forwarded_bytes=forwarded,
+        reduction_bytes=reduction_bytes,
+        l1_bytes=l1_total,
+        tiles_count=tiles_count,
+        steps_per_tile=steps_per_tile,
+        active_pes=active_pes,
+        first_tile_fill_bytes=first_fill,
+    )

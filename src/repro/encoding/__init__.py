@@ -1,0 +1,20 @@
+"""Encoders between optimizer vectors in [0,1]^n and design objects.
+
+NAAS's central trick (§II-A(b), Fig 3) is the **importance-based
+encoding**: non-numerical choices — which dimensions to parallelize,
+what order to nest loops — are represented as one real-valued importance
+per convolution dimension. Sorting the importances yields the ordering;
+the top-k dims become the parallel dims of a k-D array. This converts
+indexing/ordering optimization into the sizing optimization evolution
+strategies are good at.
+
+The **index-based** encoders reproduce the paper's Fig 9 ablation: the
+same choices encoded as a single enumeration index, which carries no
+geometric structure for the optimizer to exploit.
+"""
+
+from repro.encoding.hardware import HardwareEncoder
+from repro.encoding.mapping_enc import MappingEncoder
+from repro.encoding.spaces import EncodingStyle
+
+__all__ = ["EncodingStyle", "HardwareEncoder", "MappingEncoder"]

@@ -1,0 +1,216 @@
+"""Hardware encoder: optimizer vector in [0,1]^n <-> AcceleratorConfig.
+
+Vector layout (importance style, 13 parameters — Fig 2's hardware
+encoding vector):
+
+====== =====================================================
+Index  Meaning
+====== =====================================================
+0      number of array dimensions (1-3)
+1-3    axis sizes (sequential fractions of the PE budget)
+4-9    importance value per dim -> parallel dims (Fig 3 left)
+10     L1 size fraction
+11     L2 size fraction
+12     DRAM bandwidth fraction
+====== =====================================================
+
+The index style (8 parameters) replaces the six importances with a
+single enumeration-index scalar, reproducing the Fig 9 ablation.
+
+Axis sizes decode *sequentially*: each axis draws from the PE budget
+remaining after the previous axes, so every vector decodes to a design
+within the constraint instead of being rejected (the paper re-samples
+invalid candidates; conditional decoding achieves the same marginal
+distribution with none of the wasted evaluations, and structurally
+impossible combinations still raise and are re-sampled).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.accelerator.constraints import ResourceConstraint
+from repro.encoding.importance import importance_for_order, select_parallel_dims
+from repro.encoding.index import (
+    decode_parallel_scalar,
+    permutation_count,
+    scalar_to_index,
+)
+from repro.encoding.spaces import (
+    ARRAY_STRIDE,
+    BUFFER_STRIDE,
+    EncodingStyle,
+    MAX_ARRAY_DIMS,
+    MIN_AXIS,
+    MIN_L1_BYTES,
+    MIN_L2_BYTES,
+)
+from repro.errors import EncodingError
+from repro.tensors.dims import SEARCHED_DIMS
+
+
+def _snap(value: float, lo: int, hi: int, stride: int) -> int:
+    """Clamp ``value`` to [lo, hi] and snap down to the stride grid."""
+    if hi < lo:
+        raise EncodingError(f"empty range [{lo}, {hi}]")
+    snapped = lo + int((min(max(value, lo), hi) - lo) // stride) * stride
+    return snapped
+
+
+def _lerp(v: float, lo: float, hi: float) -> float:
+    return lo + min(max(v, 0.0), 1.0) * (hi - lo)
+
+
+class HardwareEncoder:
+    """Decode/encode accelerator designs within a resource constraint."""
+
+    def __init__(self, constraint: ResourceConstraint,
+                 style: EncodingStyle = EncodingStyle.IMPORTANCE) -> None:
+        self.constraint = constraint
+        self.style = style
+        if constraint.max_pes < MIN_AXIS:
+            raise EncodingError(
+                f"constraint {constraint.name!r} admits no array "
+                f"(max_pes={constraint.max_pes})")
+
+    @property
+    def num_params(self) -> int:
+        if self.style is EncodingStyle.IMPORTANCE:
+            return 4 + len(SEARCHED_DIMS) + 3
+        return 4 + 1 + 3
+
+    # ----- decoding ---------------------------------------------------------
+
+    def decode(self, vector: Sequence[float],
+               name: str = "naas-candidate") -> AcceleratorConfig:
+        """Turn a [0,1]^n vector into an accelerator design.
+
+        Raises :class:`EncodingError` when the vector cannot produce a
+        structurally valid design (the evolution loop re-samples).
+        """
+        vec = np.asarray(vector, dtype=float)
+        if vec.shape != (self.num_params,):
+            raise EncodingError(
+                f"expected {self.num_params} parameters, got {vec.shape}")
+
+        ndims = min(MAX_ARRAY_DIMS, 1 + int(vec[0] * MAX_ARRAY_DIMS))
+        ndims = max(1, ndims)
+        array_dims = self._decode_axes(vec[1:1 + MAX_ARRAY_DIMS], ndims)
+
+        if self.style is EncodingStyle.IMPORTANCE:
+            importance = vec[4:4 + len(SEARCHED_DIMS)]
+            parallel = select_parallel_dims(list(importance), ndims)
+            tail = vec[4 + len(SEARCHED_DIMS):]
+        else:
+            parallel = decode_parallel_scalar(float(vec[4]), ndims)
+            tail = vec[5:]
+
+        l1, l2 = self._decode_buffers(float(tail[0]), float(tail[1]),
+                                      int(np.prod(array_dims)))
+        bandwidth = max(1, int(round(_lerp(float(tail[2]), 1,
+                                           self.constraint.max_dram_bandwidth))))
+        config = AcceleratorConfig(
+            array_dims=tuple(array_dims), parallel_dims=parallel,
+            l1_bytes=l1, l2_bytes=l2, dram_bandwidth=bandwidth, name=name)
+        violations = self.constraint.violations(config)
+        if violations:
+            raise EncodingError(
+                f"decoded design violates constraint: {violations}")
+        return config
+
+    def _decode_axes(self, values: Sequence[float], ndims: int) -> List[int]:
+        budget = self.constraint.max_pes
+        sizes: List[int] = []
+        for axis in range(ndims):
+            reserve = MIN_AXIS ** (ndims - axis - 1)
+            hi = budget // reserve
+            if hi < MIN_AXIS:
+                raise EncodingError(
+                    f"PE budget {self.constraint.max_pes} cannot host "
+                    f"a {ndims}-D array")
+            target = _lerp(float(values[axis]), MIN_AXIS, hi)
+            size = _snap(target, MIN_AXIS, hi, ARRAY_STRIDE)
+            sizes.append(size)
+            budget //= size
+        return sizes
+
+    def _decode_buffers(self, l1_value: float, l2_value: float,
+                        num_pes: int) -> Tuple[int, int]:
+        onchip = self.constraint.max_onchip_bytes
+        l2_hi = onchip - num_pes * MIN_L1_BYTES
+        if l2_hi < MIN_L2_BYTES:
+            raise EncodingError(
+                f"on-chip budget {onchip} B too small for {num_pes} PEs")
+        l2 = _snap(_lerp(l2_value, MIN_L2_BYTES, l2_hi),
+                   MIN_L2_BYTES, l2_hi, BUFFER_STRIDE)
+        l1_hi = (onchip - l2) // num_pes
+        if l1_hi < MIN_L1_BYTES:
+            raise EncodingError(
+                f"no L1 budget left after L2={l2} B for {num_pes} PEs")
+        l1 = _snap(_lerp(l1_value, MIN_L1_BYTES, l1_hi),
+                   MIN_L1_BYTES, l1_hi, BUFFER_STRIDE)
+        return l1, l2
+
+    # ----- encoding (approximate inverse, for seeding) ----------------------
+
+    def encode(self, config: AcceleratorConfig) -> np.ndarray:
+        """Vector that decodes (approximately) back to ``config``.
+
+        Used to seed the search population with baseline presets so the
+        evolution starts from a known-good region.
+        """
+        vec = np.zeros(self.num_params)
+        ndims = config.num_array_dims
+        vec[0] = (ndims - 0.5) / MAX_ARRAY_DIMS
+        budget = self.constraint.max_pes
+        for axis in range(ndims):
+            reserve = MIN_AXIS ** (ndims - axis - 1)
+            hi = max(MIN_AXIS, budget // reserve)
+            span = max(1, hi - MIN_AXIS)
+            vec[1 + axis] = (config.array_dims[axis] - MIN_AXIS) / span
+            budget //= max(1, config.array_dims[axis])
+
+        if self.style is EncodingStyle.IMPORTANCE:
+            order = list(config.parallel_dims) + [
+                d for d in SEARCHED_DIMS if d not in config.parallel_dims]
+            vec[4:4 + len(SEARCHED_DIMS)] = importance_for_order(order)
+            tail = 4 + len(SEARCHED_DIMS)
+        else:
+            total = permutation_count(len(SEARCHED_DIMS), ndims)
+            index = self._parallel_index(config.parallel_dims, ndims)
+            vec[4] = (index + 0.5) / total
+            tail = 5
+
+        onchip = self.constraint.max_onchip_bytes
+        l2_hi = max(MIN_L2_BYTES + 1, onchip - config.num_pes * MIN_L1_BYTES)
+        vec[tail + 1] = (config.l2_bytes - MIN_L2_BYTES) / (l2_hi - MIN_L2_BYTES)
+        l1_hi = max(MIN_L1_BYTES + 1, (onchip - config.l2_bytes) // config.num_pes)
+        vec[tail] = (config.l1_bytes - MIN_L1_BYTES) / (l1_hi - MIN_L1_BYTES)
+        span_bw = max(1, self.constraint.max_dram_bandwidth - 1)
+        vec[tail + 2] = (config.dram_bandwidth - 1) / span_bw
+        return np.clip(vec, 0.0, 1.0)
+
+    def _parallel_index(self, parallel_dims, ndims: int) -> int:
+        from repro.encoding.index import nth_permutation
+        total = permutation_count(len(SEARCHED_DIMS), ndims)
+        for index in range(total):
+            if nth_permutation(SEARCHED_DIMS, ndims, index) == tuple(parallel_dims):
+                return index
+        raise EncodingError(f"cannot index parallel dims {parallel_dims}")
+
+    def sample(self, rng: np.random.Generator,
+               name: str = "naas-candidate",
+               max_attempts: int = 64) -> Tuple[np.ndarray, AcceleratorConfig]:
+        """Rejection-sample one valid design from the uniform prior."""
+        for _ in range(max_attempts):
+            vector = rng.random(self.num_params)
+            try:
+                return vector, self.decode(vector, name=name)
+            except EncodingError:
+                continue
+        raise EncodingError(
+            f"no valid design found in {max_attempts} samples under "
+            f"constraint {self.constraint.name!r}")

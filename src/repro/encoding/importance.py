@@ -1,0 +1,46 @@
+"""Importance-based decoding helpers (§II-A(b), §II-B, Fig 3).
+
+One real value per convolution dimension; sorting in decreasing order
+yields an ordering. For parallel-dim selection the first k ranked dims
+are taken; for loop orders the full ranking is the nest order (highest
+importance = outermost = best locality).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import EncodingError
+from repro.tensors.dims import SEARCHED_DIMS, Dim
+
+
+def ranked_dims(importance: Sequence[float]) -> Tuple[Dim, ...]:
+    """All six dims sorted by decreasing importance (stable on ties)."""
+    if len(importance) != len(SEARCHED_DIMS):
+        raise EncodingError(
+            f"importance vector needs {len(SEARCHED_DIMS)} values, "
+            f"got {len(importance)}")
+    indexed = sorted(range(len(SEARCHED_DIMS)),
+                     key=lambda i: (-importance[i], i))
+    return tuple(SEARCHED_DIMS[i] for i in indexed)
+
+
+def select_parallel_dims(importance: Sequence[float], k: int) -> Tuple[Dim, ...]:
+    """First ``k`` dims by importance: the parallel dims of a k-D array."""
+    if not 1 <= k <= len(SEARCHED_DIMS):
+        raise EncodingError(f"cannot select {k} parallel dims")
+    return ranked_dims(importance)[:k]
+
+
+def importance_for_order(order: Sequence[Dim]) -> Tuple[float, ...]:
+    """Inverse of :func:`ranked_dims`: importances that reproduce ``order``.
+
+    Used to seed search populations from known designs (e.g. encoding a
+    baseline preset into the search space).
+    """
+    ranks = {dim: position for position, dim in enumerate(order)}
+    missing = [d.name for d in SEARCHED_DIMS if d not in ranks]
+    if missing:
+        raise EncodingError(f"order is missing dims {missing}")
+    top = len(SEARCHED_DIMS)
+    return tuple((top - ranks[dim]) / top for dim in SEARCHED_DIMS)

@@ -1,0 +1,109 @@
+"""Mapping encoder: optimizer vector in [0,1]^n <-> Mapping.
+
+Vector layout (importance style, 18 parameters — Fig 2's mapping
+encoding vector):
+
+====== ========================================================
+Index  Meaning
+====== ========================================================
+0-5    array-level importance per dim -> outer loop order
+6-11   tiling ratio per dim (fraction of the full dimension)
+12-17  PE-level importance per dim -> inner loop order
+====== ========================================================
+
+Index style (8 parameters): scalar permutation index for each loop
+order instead of the importances (Fig 9 ablation).
+
+Tiling ratios follow §II-B: sizes are expressed relative to the layer's
+dimensions so one distribution generalizes across layers. Decoded tiles
+are legalized against the accelerator's L2 budget by halving (largest
+contributors first) rather than rejected, preserving sample efficiency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.cost.operands import tile_set_bytes
+from repro.encoding.importance import ranked_dims
+from repro.encoding.index import decode_order_scalar
+from repro.encoding.spaces import EncodingStyle
+from repro.errors import EncodingError
+from repro.mapping.mapping import Mapping
+from repro.mapping.tiling import shrink_to_budget
+from repro.tensors.dims import SEARCHED_DIMS, Dim
+from repro.tensors.layer import ConvLayer
+
+#: Accumulator width used when legalizing tiles; matches CostParams default.
+PSUM_BYTES = 4
+
+_NUM_DIMS = len(SEARCHED_DIMS)
+
+
+def _tile_footprint(layer: ConvLayer, tiles: Dict[Dim, int]) -> float:
+    return tile_set_bytes(layer, tiles, PSUM_BYTES)
+
+
+class MappingEncoder:
+    """Decode optimizer vectors into legal mappings for one layer."""
+
+    def __init__(self, layer: ConvLayer, accel: AcceleratorConfig,
+                 style: EncodingStyle = EncodingStyle.IMPORTANCE) -> None:
+        self.layer = layer
+        self.accel = accel
+        self.style = style
+
+    @property
+    def num_params(self) -> int:
+        if self.style is EncodingStyle.IMPORTANCE:
+            return 3 * _NUM_DIMS
+        return 1 + _NUM_DIMS + 1
+
+    def decode(self, vector: Sequence[float]) -> Mapping:
+        """Turn a [0,1]^n vector into a legal mapping for the layer."""
+        vec = np.asarray(vector, dtype=float)
+        if vec.shape != (self.num_params,):
+            raise EncodingError(
+                f"expected {self.num_params} parameters, got {vec.shape}")
+
+        if self.style is EncodingStyle.IMPORTANCE:
+            array_order = ranked_dims(list(vec[0:_NUM_DIMS]))
+            ratios = vec[_NUM_DIMS:2 * _NUM_DIMS]
+            pe_order = ranked_dims(list(vec[2 * _NUM_DIMS:3 * _NUM_DIMS]))
+        else:
+            array_order = decode_order_scalar(float(vec[0]))
+            ratios = vec[1:1 + _NUM_DIMS]
+            pe_order = decode_order_scalar(float(vec[1 + _NUM_DIMS]))
+
+        tiles = self._decode_tiles(ratios)
+        return Mapping.create(array_order=array_order, pe_order=pe_order,
+                              tiles=tiles)
+
+    def _decode_tiles(self, ratios: Sequence[float]) -> Dict[Dim, int]:
+        tiles: Dict[Dim, int] = {}
+        for dim, ratio in zip(SEARCHED_DIMS, ratios):
+            size = self.layer.dim_size(dim)
+            tiles[dim] = max(1, min(size, int(round(float(ratio) * size))))
+        # Parallel dims should cover the array at least once when the
+        # layer allows it, otherwise PEs are guaranteed idle.
+        for dim, axis in zip(self.accel.parallel_dims, self.accel.array_dims):
+            size = self.layer.dim_size(dim)
+            tiles[dim] = min(size, max(tiles[dim], min(axis, size)))
+        return shrink_to_budget(self.layer, tiles, _tile_footprint,
+                                self.accel.l2_bytes)
+
+    def encode_mapping(self, mapping: Mapping) -> np.ndarray:
+        """Approximate inverse for seeding (importance style only)."""
+        if self.style is not EncodingStyle.IMPORTANCE:
+            raise EncodingError("seeding supported for importance style only")
+        from repro.encoding.importance import importance_for_order
+        vec = np.zeros(self.num_params)
+        vec[0:_NUM_DIMS] = importance_for_order(mapping.array_order)
+        for i, dim in enumerate(SEARCHED_DIMS):
+            size = self.layer.dim_size(dim)
+            vec[_NUM_DIMS + i] = mapping.tile(dim) / size
+        vec[2 * _NUM_DIMS:3 * _NUM_DIMS] = importance_for_order(mapping.pe_order)
+        return np.clip(vec, 0.0, 1.0)

@@ -1,0 +1,40 @@
+"""Shared definitions for encoding spaces.
+
+Search granularity follows §III-A(a): #PEs effectively moves at stride 8
+(axis sizes at stride 2), buffer sizes at stride 16 bytes, array sizes at
+stride 2.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Buffer sizes are searched at this granularity (bytes).
+BUFFER_STRIDE = 16
+
+#: Array axis sizes are searched at this granularity.
+ARRAY_STRIDE = 2
+
+#: Smallest searchable private scratchpad; below this a PE cannot hold
+#: one weight, one input and one partial sum.
+MIN_L1_BYTES = 16
+
+#: Smallest searchable global buffer.
+MIN_L2_BYTES = 1024
+
+#: Smallest array axis size.
+MIN_AXIS = 2
+
+#: Maximum number of physical array dimensions (1D, 2D or 3D).
+MAX_ARRAY_DIMS = 3
+
+
+class EncodingStyle(enum.Enum):
+    """How non-numerical choices are embedded in the optimizer vector.
+
+    ``IMPORTANCE`` is the paper's contribution; ``INDEX`` is the ablation
+    baseline where orderings are packed into a single enumeration index.
+    """
+
+    IMPORTANCE = "importance"
+    INDEX = "index"

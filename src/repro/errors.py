@@ -1,0 +1,40 @@
+"""Exception hierarchy for the NAAS reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch package failures without masking programming errors
+(``TypeError``, ``KeyError``, ...) from their own code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class InvalidLayerError(ReproError):
+    """A layer definition is malformed (non-positive dims, bad groups...)."""
+
+
+class InvalidArchitectureError(ReproError):
+    """An accelerator configuration is structurally invalid."""
+
+
+class ConstraintViolationError(ReproError):
+    """An accelerator configuration exceeds its resource constraint."""
+
+
+class InvalidMappingError(ReproError):
+    """A mapping is malformed or illegal for the given accelerator/layer."""
+
+
+class EncodingError(ReproError):
+    """An encoding vector has the wrong shape or cannot be decoded."""
+
+
+class SearchError(ReproError):
+    """A search loop could not make progress (e.g. no valid sample found)."""
+
+
+class EvaluationError(ReproError):
+    """The cost model could not evaluate a (layer, accelerator, mapping)."""

@@ -1,0 +1,20 @@
+"""Experiment drivers: one module per figure/table of the paper's §III.
+
+Each module exposes ``run(profile="quick", seed=0) -> ExperimentResult``;
+the result carries paper-style table rows plus the qualitative claims the
+benchmark suite asserts. Profiles control evolution budgets: ``quick``
+finishes in seconds (CI/benchmarks), ``paper`` approximates the paper's
+budgets for overnight runs.
+"""
+
+from repro.experiments.config import BudgetProfile, get_profile
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.runner import ExperimentResult
+
+__all__ = [
+    "BudgetProfile",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "get_profile",
+    "run_experiment",
+]

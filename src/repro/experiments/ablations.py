@@ -1,0 +1,176 @@
+"""Ablations of this reproduction's own design choices (beyond the paper).
+
+DESIGN.md calls out three engineering decisions worth validating:
+
+1. **Warm-starting** the hardware population with the baseline preset —
+   how much of the quick-budget result quality does it provide?
+2. **Inner-loop budget** — how sensitive is the searched EDP to the
+   mapping-search budget (the paper's "mapping candidates per layer")?
+3. **Cost-model calibration** — do search *winners* survive a 2x
+   perturbation of the DRAM energy constant? (Rank stability is what
+   legitimizes an approximate cost backend.)
+
+Each ablation returns an :class:`ExperimentResult` like the paper
+experiments and is exercised by ``benchmarks/test_ablations.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict
+
+from repro.cost.config import CostParams
+from repro.cost.model import CostModel
+from repro.accelerator.presets import baseline_constraint, baseline_preset
+from repro.experiments.config import get_profile
+from repro.experiments.runner import ExperimentResult, Stopwatch
+from repro.models import build_model
+from repro.search.accelerator_search import NAASBudget, search_accelerator
+from repro.search.mapping_search import MappingSearchBudget
+from repro.utils.rng import ensure_rng
+
+SCENARIO_PRESET = "eyeriss"
+SCENARIO_NETWORK = "mobilenet_v2"
+
+
+def run_seeding_ablation(profile: str = "", seed: int = 0) -> ExperimentResult:
+    """NAAS with vs without the baseline-preset warm start."""
+    budgets = get_profile(profile)
+    rng = ensure_rng(seed)
+    cost_model = CostModel()
+    network = build_model(SCENARIO_NETWORK)
+    constraint = baseline_constraint(SCENARIO_PRESET)
+    preset = baseline_preset(SCENARIO_PRESET)
+
+    with Stopwatch() as watch:
+        seeded = search_accelerator([network], constraint, cost_model,
+                                    budget=budgets.naas, seed=rng,
+                                    seed_configs=[preset])
+        cold = search_accelerator([network], constraint, cost_model,
+                                  budget=budgets.naas, seed=rng)
+
+    rows = [
+        ("seeded with preset", seeded.best_reward,
+         seeded.history[0].best_fitness),
+        ("cold start", cold.best_reward, cold.history[0].best_fitness),
+    ]
+    claims = {
+        "both starts find valid designs": seeded.found and cold.found,
+        "seeding does not hurt the final result":
+            seeded.best_reward <= cold.best_reward * 1.5,
+        "seeding improves the first generation":
+            seeded.history[0].best_fitness
+            <= cold.history[0].best_fitness * 1.05,
+    }
+    result = ExperimentResult(
+        experiment="Ablation: warm-start seeding",
+        headers=["variant", "final best EDP", "first-generation best EDP"],
+        rows=rows, claims=claims,
+        details={"ratio": cold.best_reward / seeded.best_reward})
+    result.seconds = watch.elapsed
+    return result
+
+
+def run_budget_ablation(profile: str = "", seed: int = 0) -> ExperimentResult:
+    """Searched EDP vs inner mapping-search budget."""
+    budgets = get_profile(profile)
+    rng = ensure_rng(seed)
+    cost_model = CostModel()
+    network = build_model(SCENARIO_NETWORK)
+    constraint = baseline_constraint(SCENARIO_PRESET)
+    preset = baseline_preset(SCENARIO_PRESET)
+
+    variants = {
+        "1x1 (no search)": MappingSearchBudget(population=1, iterations=1),
+        "4x2": MappingSearchBudget(population=4, iterations=2),
+        "8x5": MappingSearchBudget(population=8, iterations=5),
+    }
+    rows = []
+    results = {}
+    with Stopwatch() as watch:
+        for label, mapping_budget in variants.items():
+            budget = NAASBudget(
+                accel_population=budgets.naas.accel_population,
+                accel_iterations=budgets.naas.accel_iterations,
+                mapping=mapping_budget)
+            found = search_accelerator([network], constraint, cost_model,
+                                       budget=budget, seed=rng,
+                                       seed_configs=[preset])
+            results[label] = found.best_reward
+            rows.append((label, mapping_budget.total_samples,
+                         found.best_reward))
+
+    claims = {
+        "all budgets find valid designs":
+            all(v < float("inf") for v in results.values()),
+        "the largest mapping budget is at least as good as none":
+            results["8x5"] <= results["1x1 (no search)"] * 1.05,
+    }
+    result = ExperimentResult(
+        experiment="Ablation: inner mapping-search budget",
+        headers=["mapping budget", "samples/layer", "best EDP"],
+        rows=rows, claims=claims,
+        details={"edp_by_budget": results})
+    result.seconds = watch.elapsed
+    return result
+
+
+def run_cost_param_ablation(profile: str = "", seed: int = 0,
+                            ) -> ExperimentResult:
+    """Do design rankings survive a 2x DRAM-energy perturbation?
+
+    Evaluates the five baseline presets on MobileNetV2 under the nominal
+    and a 2x-DRAM-energy cost model; asserts the preset EDP *ordering*
+    is broadly preserved (Spearman-style concordance over pairs).
+    """
+    del profile  # evaluation only; budgets don't apply
+    rng = ensure_rng(seed)
+    del rng
+    network = build_model(SCENARIO_NETWORK)
+    from repro.mapping.builders import dataflow_preserving_mapping
+
+    def preset_edps(params: CostParams) -> Dict[str, float]:
+        cost_model = CostModel(params)
+        edps = {}
+        for name in ("eyeriss", "nvdla_256", "nvdla_1024", "edgetpu",
+                     "shidiannao"):
+            preset = baseline_preset(name)
+            cost = cost_model.evaluate_network(
+                network, preset,
+                lambda l: dataflow_preserving_mapping(l, preset))
+            edps[name] = cost.edp
+        return edps
+
+    with Stopwatch() as watch:
+        nominal = preset_edps(CostParams())
+        perturbed = preset_edps(dataclasses.replace(
+            CostParams(), dram_pj_per_byte=CostParams().dram_pj_per_byte * 2))
+
+    names = list(nominal)
+    concordant = 0
+    total = 0
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            a, b = names[i], names[j]
+            total += 1
+            if ((nominal[a] < nominal[b]) == (perturbed[a] < perturbed[b])):
+                concordant += 1
+    rows = [(name, nominal[name], perturbed[name]) for name in names]
+    claims = {
+        "at least 80% of pairwise orderings survive 2x DRAM energy":
+            concordant / total >= 0.8,
+    }
+    result = ExperimentResult(
+        experiment="Ablation: cost-model calibration (2x DRAM energy)",
+        headers=["preset", "EDP (nominal)", "EDP (2x DRAM energy)"],
+        rows=rows, claims=claims,
+        details={"concordance": concordant / total})
+    result.seconds = watch.elapsed
+    return result
+
+
+ABLATIONS: Dict[str, Callable[..., ExperimentResult]] = {
+    "seeding": run_seeding_ablation,
+    "budget": run_budget_ablation,
+    "cost_params": run_cost_param_ablation,
+}

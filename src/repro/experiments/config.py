@@ -1,0 +1,79 @@
+"""Budget profiles: how much evolution each experiment gets to run.
+
+The paper runs thousands of evaluations per scenario; this repository's
+experiments scale from a CI-friendly ``quick`` profile (seconds per
+scenario, enough for every qualitative claim to hold) through ``full``
+(minutes) to ``paper`` (approximating the original budgets).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+from repro.errors import ReproError
+from repro.nas.search import NASBudget
+from repro.search.accelerator_search import NAASBudget
+from repro.search.mapping_search import MappingSearchBudget
+
+#: Environment variable overriding the default profile for benchmarks.
+PROFILE_ENV_VAR = "REPRO_PROFILE"
+
+
+@dataclasses.dataclass(frozen=True)
+class BudgetProfile:
+    """All evolution budgets an experiment might need."""
+
+    name: str
+    naas: NAASBudget
+    mapping: MappingSearchBudget
+    nas: NASBudget
+    sizing_population: int
+    sizing_iterations: int
+    #: Iterations recorded for the Fig 4 convergence curve.
+    convergence_iterations: int
+
+
+_PROFILES = {
+    "quick": BudgetProfile(
+        name="quick",
+        naas=NAASBudget(accel_population=8, accel_iterations=5,
+                        mapping=MappingSearchBudget(population=6, iterations=4)),
+        mapping=MappingSearchBudget(population=8, iterations=5),
+        nas=NASBudget(population=6, iterations=3),
+        sizing_population=8,
+        sizing_iterations=5,
+        convergence_iterations=8,
+    ),
+    "full": BudgetProfile(
+        name="full",
+        naas=NAASBudget(accel_population=16, accel_iterations=10,
+                        mapping=MappingSearchBudget(population=10, iterations=6)),
+        mapping=MappingSearchBudget(population=16, iterations=10),
+        nas=NASBudget(population=12, iterations=6),
+        sizing_population=16,
+        sizing_iterations=10,
+        convergence_iterations=15,
+    ),
+    "paper": BudgetProfile(
+        name="paper",
+        naas=NAASBudget(accel_population=25, accel_iterations=15,
+                        mapping=MappingSearchBudget(population=20, iterations=12)),
+        mapping=MappingSearchBudget(population=25, iterations=15),
+        nas=NASBudget(population=25, iterations=10),
+        sizing_population=25,
+        sizing_iterations=15,
+        convergence_iterations=15,
+    ),
+}
+
+
+def get_profile(name: str = "") -> BudgetProfile:
+    """Resolve a profile by name, env var, or the ``quick`` default."""
+    resolved = name or os.environ.get(PROFILE_ENV_VAR, "quick")
+    try:
+        return _PROFILES[resolved]
+    except KeyError:
+        known = ", ".join(sorted(_PROFILES))
+        raise ReproError(
+            f"unknown profile {resolved!r}; known profiles: {known}") from None

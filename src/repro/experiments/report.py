@@ -1,0 +1,104 @@
+"""Assemble a consolidated experiment report from recorded results.
+
+``benchmarks/conftest.py`` persists every experiment's rendered table
+under ``benchmarks/results/``; this module stitches those files (or a
+fresh in-process run) into one markdown report, which is how
+EXPERIMENTS.md stays regenerable:
+
+    python -m repro.experiments.report            # from recorded files
+    python -m repro.experiments.report --run      # re-run everything
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.runner import ExperimentResult
+
+#: Canonical presentation order (paper order).
+REPORT_ORDER = ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+                "table3", "table4")
+
+DEFAULT_RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def collect_recorded(results_dir: Optional[Path] = None) -> Dict[str, str]:
+    """Read previously recorded plain-text experiment reports."""
+    if results_dir is None:
+        results_dir = DEFAULT_RESULTS_DIR
+    recorded: Dict[str, str] = {}
+    if not results_dir.is_dir():
+        return recorded
+    for name in REPORT_ORDER:
+        path = results_dir / f"{name}.txt"
+        if path.is_file():
+            recorded[name] = path.read_text().rstrip()
+    return recorded
+
+
+def run_all(profile: str = "", seed: int = 0,
+            names: Optional[List[str]] = None) -> Dict[str, ExperimentResult]:
+    """Run experiments in-process (slow) and return their results."""
+    results: Dict[str, ExperimentResult] = {}
+    for name in names or REPORT_ORDER:
+        results[name] = run_experiment(name, profile=profile, seed=seed)
+    return results
+
+
+def assemble_markdown(sections: Dict[str, str],
+                      title: str = "Experiment report") -> str:
+    """Join per-experiment text blocks into one markdown document."""
+    lines = [f"# {title}", ""]
+    missing = [name for name in REPORT_ORDER if name not in sections]
+    for name in REPORT_ORDER:
+        if name not in sections:
+            continue
+        lines.append(f"## {name}")
+        lines.append("")
+        lines.append("```")
+        lines.append(sections[name])
+        lines.append("```")
+        lines.append("")
+    if missing:
+        lines.append(f"_Missing experiments: {', '.join(missing)}_")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Assemble the consolidated experiment report")
+    parser.add_argument("--run", action="store_true",
+                        help="re-run all experiments instead of reading "
+                             "recorded results")
+    parser.add_argument("--profile", default="")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", help="write markdown here "
+                                         "(default: stdout)")
+    args = parser.parse_args(argv)
+
+    if args.run:
+        results = run_all(profile=args.profile, seed=args.seed)
+        sections = {name: result.render()
+                    for name, result in results.items()}
+    else:
+        sections = collect_recorded()
+        if not sections:
+            parser.error(
+                "no recorded results found; run the benchmark suite first "
+                "or pass --run")
+
+    report = assemble_markdown(sections)
+    if args.output:
+        Path(args.output).write_text(report)
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""Common experiment plumbing: the result record and table rendering."""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Dict, List, Sequence
+
+from repro.utils.tables import Cell, render_markdown_table, render_table
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Outcome of one experiment (one figure or table).
+
+    ``rows`` are the paper-style table rows; ``claims`` map qualitative
+    statements ("NAAS beats random search") to booleans, which is what
+    the benchmark suite asserts; ``details`` carries free-form extras.
+    """
+
+    experiment: str
+    headers: Sequence[str]
+    rows: List[Sequence[Cell]]
+    claims: Dict[str, bool]
+    details: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    seconds: float = 0.0
+
+    def render(self) -> str:
+        """ASCII table plus the claim checklist."""
+        lines = [f"== {self.experiment} ({self.seconds:.1f}s) ==",
+                 render_table(self.headers, self.rows)]
+        for claim, holds in self.claims.items():
+            lines.append(f"  [{'x' if holds else ' '}] {claim}")
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        lines = [f"### {self.experiment}", "",
+                 render_markdown_table(self.headers, self.rows), ""]
+        for claim, holds in self.claims.items():
+            lines.append(f"- {'PASS' if holds else 'FAIL'}: {claim}")
+        return "\n".join(lines)
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(self.claims.values())
+
+
+class Stopwatch:
+    """Tiny context manager stamping ``ExperimentResult.seconds``."""
+
+    def __enter__(self) -> "Stopwatch":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self.start

@@ -1,0 +1,27 @@
+"""Compiler mapping IR: loop orders and tiling sizes.
+
+A mapping (§II-B, Fig 2) has two temporal levels around the spatial
+array, mirroring the fused MAESTRO description in the paper:
+
+1. **Array level** — loop order *and* L2 tile size per convolution
+   dimension. These loops walk DRAM-resident data in L2-tile chunks.
+2. **PE level** — loop order only (each PE holds a single MAC, so all
+   PE-level map sizes are 1). These loops walk an L2 tile, dispatching
+   one element per PE per step along the array's parallel dimensions.
+"""
+
+from repro.mapping.loops import LoopOrder, canonical_order, validate_order
+from repro.mapping.mapping import Mapping
+from repro.mapping.tiling import clamp_tiles, tiles_from_ratios
+from repro.mapping.builders import dataflow_preserving_mapping, untiled_mapping
+
+__all__ = [
+    "LoopOrder",
+    "Mapping",
+    "canonical_order",
+    "clamp_tiles",
+    "dataflow_preserving_mapping",
+    "tiles_from_ratios",
+    "untiled_mapping",
+    "validate_order",
+]

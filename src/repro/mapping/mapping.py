@@ -1,0 +1,75 @@
+"""The mapping dataclass combining loop orders and tiles."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+from repro.errors import InvalidMappingError
+from repro.mapping.loops import validate_order
+from repro.tensors.dims import SEARCHED_DIMS, Dim
+from repro.tensors.layer import ConvLayer
+
+
+@dataclasses.dataclass(frozen=True)
+class Mapping:
+    """A compiler mapping for one layer on one accelerator.
+
+    Attributes
+    ----------
+    array_order:
+        Loop order of the DRAM->L2 tile loops, outermost first.
+    pe_order:
+        Loop order of the in-tile (L2->PE dispatch) loops.
+    tiles:
+        L2 tile size per convolution dimension. Stored as a tuple of
+        ``(Dim, size)`` pairs in canonical dim order so the dataclass
+        stays hashable (mappings are cache keys in the search loop).
+    """
+
+    array_order: Tuple[Dim, ...]
+    pe_order: Tuple[Dim, ...]
+    tiles: Tuple[Tuple[Dim, int], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "array_order",
+                           validate_order(self.array_order, "array-level order"))
+        object.__setattr__(self, "pe_order",
+                           validate_order(self.pe_order, "PE-level order"))
+        tile_map = dict(self.tiles)
+        missing = [d.name for d in SEARCHED_DIMS if d not in tile_map]
+        if missing:
+            raise InvalidMappingError(f"tiles missing dims {missing}")
+        for dim, size in tile_map.items():
+            if not isinstance(size, int) or size < 1:
+                raise InvalidMappingError(
+                    f"tile for {dim.name} must be an int >= 1, got {size!r}")
+        ordered = tuple((dim, tile_map[dim]) for dim in SEARCHED_DIMS)
+        object.__setattr__(self, "tiles", ordered)
+
+    @classmethod
+    def create(cls, array_order, pe_order, tiles: Dict[Dim, int]) -> "Mapping":
+        """Build from a dict of tiles (the common construction path)."""
+        return cls(array_order=tuple(array_order), pe_order=tuple(pe_order),
+                   tiles=tuple(tiles.items()))
+
+    @property
+    def tile_map(self) -> Dict[Dim, int]:
+        return dict(self.tiles)
+
+    def tile(self, dim: Dim) -> int:
+        for candidate, size in self.tiles:
+            if candidate is dim:
+                return size
+        raise InvalidMappingError(f"no tile for dim {dim.name}")
+
+    def legal_for(self, layer: ConvLayer) -> bool:
+        """Tiles must not exceed the layer's dimension sizes."""
+        return all(size <= layer.dim_size(dim) for dim, size in self.tiles)
+
+    def describe(self) -> str:
+        """Compact single-line rendering, e.g. for Fig 7-style reports."""
+        outer = ">".join(d.name for d in self.array_order)
+        inner = ">".join(d.name for d in self.pe_order)
+        tiles = ",".join(f"{d.name}={s}" for d, s in self.tiles)
+        return f"outer[{outer}] inner[{inner}] tiles[{tiles}]"

@@ -1,0 +1,114 @@
+"""Render mappings the way the paper's Fig 2 does.
+
+Two formats:
+
+- :func:`render_loop_nest` — the Python-style tiled loop nest (Fig 2
+  left): outer tile loops, in-tile loops, and the ``Parallel-For`` lanes
+  of the array's parallel dimensions;
+- :func:`render_maestro` — MAESTRO data-centric directives (Fig 2
+  right): ``TemporalMap``/``SpatialMap`` per dimension plus a
+  ``Cluster`` per array axis.
+
+Useful for documentation, debugging searched mappings, and comparing
+against MAESTRO conventions directly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.mapping.mapping import Mapping
+from repro.tensors.dims import Dim
+from repro.tensors.layer import ConvLayer
+from repro.utils.mathutils import ceil_div
+
+#: Loop-variable names per dimension in the paper's notation.
+_VAR = {Dim.N: "n", Dim.K: "k", Dim.C: "c", Dim.Y: "y'", Dim.X: "x'",
+        Dim.R: "r", Dim.S: "s"}
+
+
+def render_loop_nest(layer: ConvLayer, accel: AcceleratorConfig,
+                     mapping: Mapping) -> str:
+    """Python-style tiled loop nest for one layer (paper Fig 2, left)."""
+    tiles = {dim: min(mapping.tile(dim), layer.dim_size(dim))
+             for dim, _ in mapping.tiles}
+    axis_eff = {dim: min(axis, tiles[dim])
+                for dim, axis in zip(accel.parallel_dims, accel.array_dims)}
+
+    lines: List[str] = []
+    indent = 0
+
+    def emit(text: str) -> None:
+        lines.append("  " * indent + text)
+
+    if layer.n > 1:
+        emit(f"for _n in range({layer.n}):")
+        indent += 1
+    for dim in mapping.array_order:
+        trips = ceil_div(layer.dim_size(dim), tiles[dim])
+        emit(f"for _{_VAR[dim]} in range({trips}):"
+             f"  # {dim.name} tiles of {tiles[dim]}")
+        indent += 1
+    for dim in mapping.pe_order:
+        if dim in axis_eff:
+            chunks = ceil_div(tiles[dim], axis_eff[dim])
+            emit(f"for {_VAR[dim]}_chunk in range({chunks}):"
+                 f"  # {dim.name} in chunks of {axis_eff[dim]}")
+        else:
+            emit(f"for {_VAR[dim]} in range({tiles[dim]}):")
+        indent += 1
+    for dim, eff in axis_eff.items():
+        emit(f"Parallel-For {_VAR[dim]}_lane in range({eff}):"
+             f"  # array axis {accel.axis_of(dim)}")
+        indent += 1
+    emit("psum[n,k,y',x'] += acts[n,c,y'*stride+r,x'*stride+s] "
+         "* wgts[k,c,r,s]")
+    return "\n".join(lines)
+
+
+def render_maestro(layer: ConvLayer, accel: AcceleratorConfig,
+                   mapping: Mapping) -> str:
+    """MAESTRO-style directive listing (paper Fig 2, right).
+
+    Array level: one ``SpatialMap`` per parallel dim (map size 1 at
+    axis granularity) and ``TemporalMap(T, T)`` for the rest; then one
+    ``Cluster(axis)`` per additional array dimension with the PE-level
+    temporal maps of size 1.
+    """
+    tiles = {dim: min(mapping.tile(dim), layer.dim_size(dim))
+             for dim, _ in mapping.tiles}
+    lines: List[str] = []
+
+    first_parallel = accel.parallel_dims[0]
+    for dim in mapping.array_order:
+        if dim is first_parallel:
+            lines.append(f"SpatialMap (1, 1) {dim.name};")
+        else:
+            size = tiles[dim]
+            lines.append(f"TemporalMap ({size}, {size}) {dim.name};")
+
+    for axis in range(1, accel.num_array_dims):
+        lines.append(f"Cluster({accel.array_dims[axis]}, P)")
+        parallel = accel.parallel_dims[axis]
+        for dim in mapping.pe_order:
+            if dim is parallel:
+                lines.append(f"  SpatialMap (1, 1) {dim.name};")
+            else:
+                lines.append(f"  TemporalMap (1, 1) {dim.name};")
+    return "\n".join(lines)
+
+
+def render_full(layer: ConvLayer, accel: AcceleratorConfig,
+                mapping: Mapping) -> str:
+    """Both renderings with headers, for reports."""
+    return "\n".join([
+        f"# {layer.name} on {accel.describe()}",
+        f"# mapping: {mapping.describe()}",
+        "",
+        "## loop nest",
+        render_loop_nest(layer, accel, mapping),
+        "",
+        "## MAESTRO directives",
+        render_maestro(layer, accel, mapping),
+    ])

@@ -1,0 +1,26 @@
+"""Benchmark CNN model zoo.
+
+The paper evaluates six networks split into two deployment sets
+(§III-A(b)): large-scale (VGG16, ResNet50, UNet) and light-weight mobile
+(MobileNetV2, SqueezeNet, MNasNet). Each builder returns a
+:class:`repro.tensors.Network` of conv-layer workload descriptors with
+ImageNet-standard shapes; fully-connected heads are expressed as 1x1 convs.
+"""
+
+from repro.models.zoo import (
+    LARGE_BENCHMARKS,
+    MOBILE_BENCHMARKS,
+    MODEL_BUILDERS,
+    build_model,
+    large_benchmark_set,
+    mobile_benchmark_set,
+)
+
+__all__ = [
+    "LARGE_BENCHMARKS",
+    "MOBILE_BENCHMARKS",
+    "MODEL_BUILDERS",
+    "build_model",
+    "large_benchmark_set",
+    "mobile_benchmark_set",
+]

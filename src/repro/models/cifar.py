@@ -1,0 +1,49 @@
+"""CIFAR-10-scale workloads used for the NASAIC comparison (Table III).
+
+NASAIC (Yang et al., 2020) searches small CIFAR nets alongside a
+heterogeneous accelerator. Its paper does not publish the exact searched
+topology, so we use a representative CIFAR residual net of the size class
+NASAIC reports (NASNet-style cells at 32x32, ~0.5 GMACs) — Table III
+compares the *hardware* running a fixed net, so any fixed CIFAR net of
+the right scale exercises the same comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.tensors.layer import ConvLayer, conv1x1, linear_as_conv
+from repro.tensors.network import Network
+
+#: (stage, blocks, channels, map size, first stride)
+_CIFAR_STAGES: Tuple[Tuple[int, int, int, int, int], ...] = (
+    (1, 3, 64, 32, 1),
+    (2, 3, 128, 16, 2),
+    (3, 3, 256, 8, 2),
+)
+
+
+def build_nasaic_cifar_net(batch: int = 1, bits: int = 8) -> Network:
+    """The fixed CIFAR-10 network used for the Table III comparison."""
+    layers: List[ConvLayer] = [
+        ConvLayer(name="stem", n=batch, k=64, c=3, y=32, x=32, r=3, s=3,
+                  bits=bits),
+    ]
+    in_channels = 64
+    for stage, blocks, channels, size, first_stride in _CIFAR_STAGES:
+        for block in range(blocks):
+            stride = first_stride if block == 0 else 1
+            layers.append(ConvLayer(
+                name=f"s{stage}b{block}_conv1", n=batch, k=channels,
+                c=in_channels, y=size, x=size, r=3, s=3, stride=stride,
+                bits=bits))
+            layers.append(ConvLayer(
+                name=f"s{stage}b{block}_conv2", n=batch, k=channels,
+                c=channels, y=size, x=size, r=3, s=3, bits=bits))
+            if stride != 1 or in_channels != channels:
+                layers.append(conv1x1(
+                    f"s{stage}b{block}_proj", channels, in_channels,
+                    y=size, x=size, stride=stride, n=batch, bits=bits))
+            in_channels = channels
+    layers.append(linear_as_conv("fc", 10, in_channels, n=batch, bits=bits))
+    return Network(name="nasaic_cifar_net", layers=tuple(layers))

@@ -1,0 +1,64 @@
+"""MnasNet-B1 workload (Tan et al., 2019) at 224x224.
+
+Mobile inverted-bottleneck (MBConv) blocks with mixed 3x3/5x5 depthwise
+kernels, per the MnasNet-B1 architecture table. Squeeze-excite is absent
+in B1, so every block is exactly expand / depthwise / project.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.tensors.layer import ConvLayer, conv1x1, depthwise, linear_as_conv
+from repro.tensors.network import Network
+
+#: (expansion, output channels, repeats, first stride, depthwise kernel)
+MNASNET_B1_CONFIG: Tuple[Tuple[int, int, int, int, int], ...] = (
+    (3, 24, 3, 2, 3),
+    (3, 40, 3, 2, 5),
+    (6, 80, 3, 2, 5),
+    (6, 96, 2, 1, 3),
+    (6, 192, 4, 2, 5),
+    (6, 320, 1, 1, 3),
+)
+
+
+def mbconv(name: str, in_ch: int, out_ch: int, expansion: int, kernel: int,
+           out_size: int, stride: int, batch: int, bits: int) -> List[ConvLayer]:
+    """One MBConv block (expand -> depthwise kxk -> project)."""
+    hidden = in_ch * expansion
+    in_size = out_size * stride
+    return [
+        conv1x1(f"{name}_expand", hidden, in_ch, y=in_size, x=in_size,
+                n=batch, bits=bits),
+        depthwise(f"{name}_dw", hidden, y=out_size, x=out_size,
+                  r=kernel, s=kernel, stride=stride, n=batch, bits=bits),
+        conv1x1(f"{name}_project", out_ch, hidden, y=out_size, x=out_size,
+                n=batch, bits=bits),
+    ]
+
+
+def build_mnasnet(batch: int = 1, bits: int = 8) -> Network:
+    """MnasNet-B1 for 224x224 inputs."""
+    layers: List[ConvLayer] = [
+        ConvLayer(name="stem", n=batch, k=32, c=3, y=112, x=112,
+                  r=3, s=3, stride=2, bits=bits),
+        # SepConv block: depthwise 3x3 + pointwise to 16 channels.
+        depthwise("sep_dw", 32, y=112, x=112, r=3, s=3, n=batch, bits=bits),
+        conv1x1("sep_pw", 16, 32, y=112, x=112, n=batch, bits=bits),
+    ]
+    in_channels = 16
+    size = 112
+    block_index = 0
+    for expansion, out_channels, repeats, first_stride, kernel in MNASNET_B1_CONFIG:
+        for repeat in range(repeats):
+            stride = first_stride if repeat == 0 else 1
+            size = size // stride
+            layers.extend(mbconv(f"mb{block_index}", in_channels, out_channels,
+                                 expansion, kernel, size, stride, batch, bits))
+            in_channels = out_channels
+            block_index += 1
+    layers.append(conv1x1("head_conv", 1280, in_channels, y=size, x=size,
+                          n=batch, bits=bits))
+    layers.append(linear_as_conv("fc", 1000, 1280, n=batch, bits=bits))
+    return Network(name="mnasnet", layers=tuple(layers))

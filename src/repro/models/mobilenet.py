@@ -1,0 +1,64 @@
+"""MobileNetV2 workload (Sandler et al., 2018) at 224x224.
+
+Inverted-residual blocks: 1x1 expand, 3x3 depthwise, 1x1 project. The
+canonical (t, c, n, s) table from the paper is reproduced below.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.tensors.layer import ConvLayer, conv1x1, depthwise, linear_as_conv
+from repro.tensors.network import Network
+
+#: (expansion t, output channels c, repeats n, first stride s)
+MOBILENETV2_CONFIG: Tuple[Tuple[int, int, int, int], ...] = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def inverted_residual(name: str, in_ch: int, out_ch: int, expansion: int,
+                      out_size: int, stride: int, batch: int,
+                      bits: int) -> List[ConvLayer]:
+    """One MobileNetV2 block; the t=1 block has no expansion conv."""
+    hidden = in_ch * expansion
+    layers: List[ConvLayer] = []
+    in_size = out_size * stride
+    if expansion != 1:
+        layers.append(conv1x1(f"{name}_expand", hidden, in_ch,
+                              y=in_size, x=in_size, n=batch, bits=bits))
+    layers.append(depthwise(f"{name}_dw", hidden, y=out_size, x=out_size,
+                            r=3, s=3, stride=stride, n=batch, bits=bits))
+    layers.append(conv1x1(f"{name}_project", out_ch, hidden,
+                          y=out_size, x=out_size, n=batch, bits=bits))
+    return layers
+
+
+def build_mobilenet_v2(batch: int = 1, bits: int = 8) -> Network:
+    """MobileNetV2 (width 1.0) for 224x224 inputs."""
+    layers: List[ConvLayer] = [
+        ConvLayer(name="stem", n=batch, k=32, c=3, y=112, x=112,
+                  r=3, s=3, stride=2, bits=bits),
+    ]
+    in_channels = 32
+    size = 112
+    block_index = 0
+    for expansion, out_channels, repeats, first_stride in MOBILENETV2_CONFIG:
+        for repeat in range(repeats):
+            stride = first_stride if repeat == 0 else 1
+            size = size // stride
+            layers.extend(inverted_residual(
+                f"block{block_index}", in_channels, out_channels, expansion,
+                size, stride, batch, bits))
+            in_channels = out_channels
+            block_index += 1
+    layers.append(conv1x1("head_conv", 1280, in_channels, y=size, x=size,
+                          n=batch, bits=bits))
+    layers.append(linear_as_conv("fc", 1000, 1280, n=batch, bits=bits))
+    return Network(name="mobilenet_v2", layers=tuple(layers))

@@ -1,0 +1,71 @@
+"""ResNet-50 workload (He et al., 2016) at 224x224.
+
+Bottleneck blocks (1x1 reduce, 3x3, 1x1 expand) across four stages, with
+projection shortcuts on the first block of each stage. The stem 7x7/2
+conv and the FC head are included; batch-norm and activations carry no
+MACs in an inference accelerator model and are omitted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.tensors.layer import ConvLayer, conv1x1, linear_as_conv
+from repro.tensors.network import Network
+
+#: (stage index, block count, bottleneck width, output spatial size, stride of first block)
+RESNET50_STAGES: Tuple[Tuple[int, int, int, int, int], ...] = (
+    (2, 3, 64, 56, 1),
+    (3, 4, 128, 28, 2),
+    (4, 6, 256, 14, 2),
+    (5, 3, 512, 7, 2),
+)
+
+EXPANSION = 4
+
+
+def bottleneck_layers(stage: int, block: int, in_channels: int, width: int,
+                      out_size: int, stride: int, batch: int,
+                      bits: int) -> List[ConvLayer]:
+    """The three convs of one bottleneck block plus optional projection."""
+    prefix = f"res{stage}{chr(ord('a') + block)}"
+    out_channels = width * EXPANSION
+    in_size = out_size * stride
+    layers = [
+        conv1x1(f"{prefix}_branch2a", width, in_channels,
+                y=out_size, x=out_size, stride=stride, n=batch, bits=bits),
+        ConvLayer(name=f"{prefix}_branch2b", n=batch, k=width, c=width,
+                  y=out_size, x=out_size, r=3, s=3, stride=1, bits=bits),
+        conv1x1(f"{prefix}_branch2c", out_channels, width,
+                y=out_size, x=out_size, n=batch, bits=bits),
+    ]
+    if block == 0:
+        # Projection shortcut matches channels (and stride) for the residual add.
+        layers.append(conv1x1(f"{prefix}_branch1", out_channels, in_channels,
+                              y=out_size, x=out_size, stride=stride,
+                              n=batch, bits=bits))
+    del in_size  # documented for clarity; input size derives from stride
+    return layers
+
+
+def build_resnet50(batch: int = 1, bits: int = 8,
+                   stages: Sequence[Tuple[int, int, int, int, int]] = RESNET50_STAGES,
+                   stem_channels: int = 64) -> Network:
+    """ResNet-50 for 224x224 inputs.
+
+    ``stages`` is parameterized so the OFA-style NAS space can reuse this
+    builder with different depths/widths.
+    """
+    layers: List[ConvLayer] = [
+        ConvLayer(name="conv1", n=batch, k=stem_channels, c=3,
+                  y=112, x=112, r=7, s=7, stride=2, bits=bits),
+    ]
+    in_channels = stem_channels
+    for stage, block_count, width, out_size, first_stride in stages:
+        for block in range(block_count):
+            stride = first_stride if block == 0 else 1
+            layers.extend(bottleneck_layers(
+                stage, block, in_channels, width, out_size, stride, batch, bits))
+            in_channels = width * EXPANSION
+    layers.append(linear_as_conv("fc1000", 1000, in_channels, n=batch, bits=bits))
+    return Network(name="resnet50", layers=tuple(layers))

@@ -1,0 +1,55 @@
+"""SqueezeNet 1.1 workload (Iandola et al., 2016) at 224x224.
+
+Fire modules: a 1x1 "squeeze" conv feeding parallel 1x1 and 3x3 "expand"
+convs whose outputs concatenate. Spatial sizes follow the 1.1 variant
+(convs at 56/28/14 after the strided stem and pools, rounding the odd
+55/27/13 maps to even sizes, which keeps tiling behaviour identical).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.tensors.layer import ConvLayer, conv1x1
+from repro.tensors.network import Network
+
+#: (name, squeeze channels, expand 1x1 channels, expand 3x3 channels, map size)
+FIRE_CONFIG: Tuple[Tuple[str, int, int, int, int], ...] = (
+    ("fire2", 16, 64, 64, 56),
+    ("fire3", 16, 64, 64, 56),
+    ("fire4", 32, 128, 128, 28),
+    ("fire5", 32, 128, 128, 28),
+    ("fire6", 48, 192, 192, 14),
+    ("fire7", 48, 192, 192, 14),
+    ("fire8", 64, 256, 256, 14),
+    ("fire9", 64, 256, 256, 14),
+)
+
+
+def fire_module(name: str, in_ch: int, squeeze: int, expand1: int,
+                expand3: int, size: int, batch: int, bits: int) -> List[ConvLayer]:
+    """The three convs of a Fire module."""
+    return [
+        conv1x1(f"{name}_squeeze", squeeze, in_ch, y=size, x=size,
+                n=batch, bits=bits),
+        conv1x1(f"{name}_expand1x1", expand1, squeeze, y=size, x=size,
+                n=batch, bits=bits),
+        ConvLayer(name=f"{name}_expand3x3", n=batch, k=expand3, c=squeeze,
+                  y=size, x=size, r=3, s=3, bits=bits),
+    ]
+
+
+def build_squeezenet(batch: int = 1, bits: int = 8) -> Network:
+    """SqueezeNet 1.1 for 224x224 inputs."""
+    layers: List[ConvLayer] = [
+        ConvLayer(name="conv1", n=batch, k=64, c=3, y=112, x=112,
+                  r=3, s=3, stride=2, bits=bits),
+    ]
+    in_channels = 64
+    for name, squeeze, expand1, expand3, size in FIRE_CONFIG:
+        layers.extend(fire_module(name, in_channels, squeeze, expand1,
+                                  expand3, size, batch, bits))
+        in_channels = expand1 + expand3
+    layers.append(conv1x1("conv10", 1000, in_channels, y=14, x=14,
+                          n=batch, bits=bits))
+    return Network(name="squeezenet", layers=tuple(layers))

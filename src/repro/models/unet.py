@@ -1,0 +1,68 @@
+"""U-Net workload (Ronneberger et al., 2015) at 256x256.
+
+Classic encoder-decoder with double 3x3 convs per level and 2x2
+transposed-conv upsampling. We use the common 256x256 same-padded variant
+(the original 572x572 valid-conv sizes change nothing about mapping
+behaviour and would only slow evaluation). Transposed convs are modelled
+as convs with r=s=2 over the upsampled output grid, which reproduces
+their MAC count and data footprint.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.tensors.layer import ConvLayer, conv1x1
+from repro.tensors.network import Network
+
+_BASE_CHANNELS = 64
+_DEPTH = 4  # four down/up levels plus the bottleneck
+
+
+def _double_conv(name: str, out_ch: int, in_ch: int, size: int, batch: int,
+                 bits: int) -> List[ConvLayer]:
+    return [
+        ConvLayer(name=f"{name}_conv1", n=batch, k=out_ch, c=in_ch,
+                  y=size, x=size, r=3, s=3, bits=bits),
+        ConvLayer(name=f"{name}_conv2", n=batch, k=out_ch, c=out_ch,
+                  y=size, x=size, r=3, s=3, bits=bits),
+    ]
+
+
+def build_unet(batch: int = 1, bits: int = 8, input_size: int = 256,
+               num_classes: int = 2) -> Network:
+    """U-Net for ``input_size`` x ``input_size`` inputs (2 output classes)."""
+    layers: List[ConvLayer] = []
+    size = input_size
+    channels = _BASE_CHANNELS
+    in_channels = 3
+
+    # Encoder: double conv then 2x2 max-pool (pool carries no MACs).
+    for level in range(_DEPTH):
+        layers.extend(_double_conv(f"enc{level + 1}", channels, in_channels,
+                                   size, batch, bits))
+        in_channels = channels
+        channels *= 2
+        size //= 2
+
+    # Bottleneck at the smallest resolution.
+    layers.extend(_double_conv("bottleneck", channels, in_channels, size,
+                               batch, bits))
+    in_channels = channels
+
+    # Decoder: transposed conv (2x2, stride 2) then double conv on the
+    # concatenation of the upsampled features and the skip connection.
+    for level in range(_DEPTH, 0, -1):
+        size *= 2
+        channels //= 2
+        layers.append(ConvLayer(
+            name=f"up{level}_tconv", n=batch, k=channels, c=in_channels,
+            y=size, x=size, r=2, s=2, stride=1, bits=bits))
+        # Skip concat doubles the input channels of the first decoder conv.
+        layers.extend(_double_conv(f"dec{level}", channels, channels * 2,
+                                   size, batch, bits))
+        in_channels = channels
+
+    layers.append(conv1x1("head", num_classes, in_channels,
+                          y=size, x=size, n=batch, bits=bits))
+    return Network(name="unet", layers=tuple(layers))

@@ -1,0 +1,40 @@
+"""VGG-16 workload (Simonyan & Zisserman, 2015) at 224x224.
+
+Thirteen 3x3 conv layers in five stages plus the three FC layers
+expressed as 1x1 convs. Max-pools only change spatial sizes and carry no
+MACs, so they appear implicitly via the per-stage output sizes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.tensors.layer import ConvLayer, linear_as_conv
+from repro.tensors.network import Network
+
+#: (stage, convs-in-stage, out-channels, output-size)
+_STAGES = (
+    (1, 2, 64, 224),
+    (2, 2, 128, 112),
+    (3, 3, 256, 56),
+    (4, 3, 512, 28),
+    (5, 3, 512, 14),
+)
+
+
+def build_vgg16(batch: int = 1, bits: int = 8) -> Network:
+    """VGG-16 for 224x224 inputs, FC head included as 1x1 convs."""
+    layers: List[ConvLayer] = []
+    in_channels = 3
+    for stage, conv_count, out_channels, size in _STAGES:
+        for i in range(conv_count):
+            layers.append(ConvLayer(
+                name=f"conv{stage}_{i + 1}", n=batch,
+                k=out_channels, c=in_channels,
+                y=size, x=size, r=3, s=3, stride=1, bits=bits))
+            in_channels = out_channels
+    # Classifier: fc6 operates on the pooled 7x7x512 volume.
+    layers.append(linear_as_conv("fc6", 4096, 512 * 7 * 7, n=batch, bits=bits))
+    layers.append(linear_as_conv("fc7", 4096, 4096, n=batch, bits=bits))
+    layers.append(linear_as_conv("fc8", 1000, 4096, n=batch, bits=bits))
+    return Network(name="vgg16", layers=tuple(layers))

@@ -1,0 +1,51 @@
+"""Model registry and the two benchmark sets from §III-A(b)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import ReproError
+from repro.models.cifar import build_nasaic_cifar_net
+from repro.models.mnasnet import build_mnasnet
+from repro.models.mobilenet import build_mobilenet_v2
+from repro.models.resnet import build_resnet50
+from repro.models.squeezenet import build_squeezenet
+from repro.models.unet import build_unet
+from repro.models.vgg import build_vgg16
+from repro.tensors.network import Network
+
+#: Classic large-scale networks, paired with big-resource scenarios.
+LARGE_BENCHMARKS: Tuple[str, ...] = ("vgg16", "resnet50", "unet")
+
+#: Light-weight mobile networks, paired with small-resource scenarios.
+MOBILE_BENCHMARKS: Tuple[str, ...] = ("mobilenet_v2", "squeezenet", "mnasnet")
+
+MODEL_BUILDERS: Dict[str, Callable[..., Network]] = {
+    "vgg16": build_vgg16,
+    "resnet50": build_resnet50,
+    "unet": build_unet,
+    "mobilenet_v2": build_mobilenet_v2,
+    "squeezenet": build_squeezenet,
+    "mnasnet": build_mnasnet,
+    "nasaic_cifar_net": build_nasaic_cifar_net,
+}
+
+
+def build_model(name: str, batch: int = 1, bits: int = 8) -> Network:
+    """Build a zoo model by name; raises with the known names on typos."""
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_BUILDERS))
+        raise ReproError(f"unknown model {name!r}; known models: {known}") from None
+    return builder(batch=batch, bits=bits)
+
+
+def large_benchmark_set(batch: int = 1, bits: int = 8) -> List[Network]:
+    """VGG16 + ResNet50 + UNet (paper's large-model deployment set)."""
+    return [build_model(name, batch=batch, bits=bits) for name in LARGE_BENCHMARKS]
+
+
+def mobile_benchmark_set(batch: int = 1, bits: int = 8) -> List[Network]:
+    """MobileNetV2 + SqueezeNet + MnasNet (paper's mobile deployment set)."""
+    return [build_model(name, batch=batch, bits=bits) for name in MOBILE_BENCHMARKS]

@@ -1,0 +1,24 @@
+"""Neural architecture search substrate (Once-For-All-style, §II-C).
+
+The paper plugs NAAS into the Once-For-All ResNet-50 design space: 3
+width multipliers, up to 18 residual bottleneck blocks with 3 expansion
+ratios each, and input resolutions from 128 to 256 at stride 16 (about
+10^13 architectures, §III-A(c)). Because OFA subnets come pre-trained,
+NAAS only ever *queries* their accuracy; here that query is served by a
+deterministic analytical predictor calibrated to the same knobs (see
+DESIGN.md, substitutions).
+"""
+
+from repro.nas.accuracy import AccuracyPredictor
+from repro.nas.ofa_space import OFAResNetSpace, ResNetArch
+from repro.nas.search import NASBudget, search_architecture
+from repro.nas.subnet import build_subnet
+
+__all__ = [
+    "AccuracyPredictor",
+    "NASBudget",
+    "OFAResNetSpace",
+    "ResNetArch",
+    "build_subnet",
+    "search_architecture",
+]

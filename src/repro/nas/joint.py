@@ -1,0 +1,144 @@
+"""The full three-level co-search: accelerator + mapping + neural net.
+
+Implements §II-C / Fig 1's outermost composition: the hardware evolution
+proposes accelerator candidates; for each candidate an inner NAS finds
+the lowest-EDP subnet meeting the accuracy floor (each subnet scored via
+mapping search); the subnet's EDP feeds back as the hardware reward.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Tuple
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.accelerator.constraints import ResourceConstraint
+from repro.cost.model import CostModel
+from repro.cost.report import NetworkCost
+from repro.encoding.hardware import HardwareEncoder
+from repro.encoding.spaces import EncodingStyle
+from repro.errors import EncodingError
+from repro.nas.accuracy import AccuracyPredictor
+from repro.nas.ofa_space import ResNetArch
+from repro.nas.search import NASBudget, NASResult, search_architecture
+from repro.search.cache import EvaluationCache
+from repro.search.es import EvolutionEngine
+from repro.search.mapping_search import MappingSearchBudget
+from repro.search.result import IterationStats
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+
+logger = get_logger(__name__)
+
+
+@dataclasses.dataclass(frozen=True)
+class JointBudget:
+    """Budgets for all three nested loops."""
+
+    accel_population: int = 6
+    accel_iterations: int = 4
+    nas: NASBudget = NASBudget()
+    mapping: MappingSearchBudget = MappingSearchBudget()
+
+
+@dataclasses.dataclass(frozen=True)
+class JointSearchResult:
+    """Best (accelerator, network, mapping) tuple found."""
+
+    best_config: Optional[AcceleratorConfig]
+    best_arch: Optional[ResNetArch]
+    best_cost: Optional[NetworkCost]
+    best_accuracy: float
+    best_edp: float
+    history: Tuple[IterationStats, ...]
+    hardware_evaluations: int
+    network_evaluations: int
+
+    @property
+    def found(self) -> bool:
+        return self.best_config is not None and self.best_arch is not None
+
+
+def search_joint(constraint: ResourceConstraint,
+                 cost_model: CostModel,
+                 accuracy_floor: float,
+                 budget: JointBudget = JointBudget(),
+                 seed: SeedLike = None,
+                 predictor: Optional[AccuracyPredictor] = None,
+                 seed_configs: Tuple[AcceleratorConfig, ...] = (),
+                 ) -> JointSearchResult:
+    """Run the joint NAAS+NAS search under a resource constraint."""
+    rng = ensure_rng(seed)
+    predictor = predictor or AccuracyPredictor()
+    encoder = HardwareEncoder(constraint, style=EncodingStyle.IMPORTANCE)
+    engine = EvolutionEngine(encoder.num_params, seed=rng)
+    cache = EvaluationCache()
+
+    best: Optional[Tuple[AcceleratorConfig, NASResult]] = None
+    best_edp = math.inf
+    history: List[IterationStats] = []
+    hw_evals = 0
+    net_evals = 0
+    injected = [encoder.encode(config) for config in seed_configs]
+
+    for iteration in range(budget.accel_iterations):
+        vectors = []
+        fitnesses = []
+        valid = 0
+        for member in range(budget.accel_population):
+            if iteration == 0 and member < len(injected):
+                vector = injected[member]
+            else:
+                vector = engine.sample()
+            config = None
+            for _ in range(32):
+                try:
+                    config = encoder.decode(
+                        vector, name=f"joint-g{iteration}m{member}")
+                    break
+                except EncodingError:
+                    vector = engine.sample()
+            vectors.append(vector)
+            if config is None:
+                fitnesses.append(math.inf)
+                continue
+            nas_result = search_architecture(
+                config, cost_model, accuracy_floor,
+                budget=budget.nas, mapping_budget=budget.mapping,
+                seed=spawn_rngs(rng, 1)[0], predictor=predictor, cache=cache)
+            hw_evals += 1
+            net_evals += nas_result.evaluations
+            fitnesses.append(nas_result.best_edp)
+            if math.isfinite(nas_result.best_edp):
+                valid += 1
+                if nas_result.best_edp < best_edp:
+                    best_edp = nas_result.best_edp
+                    best = (config, nas_result)
+        engine.update(vectors, fitnesses)
+        finite = [f for f in fitnesses if math.isfinite(f)]
+        history.append(IterationStats(
+            iteration=iteration,
+            best_fitness=min(finite) if finite else math.inf,
+            mean_fitness=sum(finite) / len(finite) if finite else math.inf,
+            valid_count=valid,
+            population=budget.accel_population,
+        ))
+        logger.info("joint iter %d best EDP %.3e", iteration, best_edp)
+
+    if best is None:
+        return JointSearchResult(
+            best_config=None, best_arch=None, best_cost=None,
+            best_accuracy=0.0, best_edp=math.inf, history=tuple(history),
+            hardware_evaluations=hw_evals, network_evaluations=net_evals)
+    config, nas_result = best
+    return JointSearchResult(
+        best_config=config,
+        best_arch=nas_result.best_arch,
+        best_cost=nas_result.best_cost,
+        best_accuracy=nas_result.best_accuracy,
+        best_edp=best_edp,
+        history=tuple(history),
+        hardware_evaluations=hw_evals,
+        network_evaluations=net_evals,
+    )

@@ -1,0 +1,163 @@
+"""The Once-For-All ResNet-50 design space (§III-A(c)).
+
+Knobs, following the paper and the open-sourced OFA library:
+
+- width multiplier in {0.65, 0.8, 1.0} (applied to all stage widths);
+- four stages with up to (4, 4, 6, 4) bottleneck blocks — 18 at maximum;
+  per-stage depth removes up to 2 blocks;
+- per-block bottleneck (reduction) ratio in {0.2, 0.25, 0.35};
+- input resolution 128..256 at stride 16.
+
+An architecture is a compact integer genome, convenient for the
+mutation/crossover evolution loop shown in the paper's Fig 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.utils.rng import SeedLike, ensure_rng
+
+WIDTH_CHOICES: Tuple[float, ...] = (0.65, 0.8, 1.0)
+EXPAND_CHOICES: Tuple[float, ...] = (0.2, 0.25, 0.35)
+IMAGE_SIZES: Tuple[int, ...] = tuple(range(128, 257, 16))
+MAX_BLOCKS_PER_STAGE: Tuple[int, ...] = (4, 4, 6, 4)
+#: Per-stage depth choice: how many blocks are removed from the maximum.
+DEPTH_REMOVALS: Tuple[int, ...] = (0, 1, 2)
+#: Base (width-1.0) output channels per stage, ResNet-50 convention.
+STAGE_CHANNELS: Tuple[int, ...] = (256, 512, 1024, 2048)
+STEM_CHANNELS = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class ResNetArch:
+    """One point in the OFA ResNet-50 space."""
+
+    width_mult: float
+    image_size: int
+    blocks_per_stage: Tuple[int, ...]
+    #: Bottleneck ratio for every *possible* block slot (18 entries);
+    #: slots beyond the active depth are carried but inactive.
+    expand_ratios: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.width_mult not in WIDTH_CHOICES:
+            raise ReproError(f"width {self.width_mult} not in {WIDTH_CHOICES}")
+        if self.image_size not in IMAGE_SIZES:
+            raise ReproError(f"image size {self.image_size} not in space")
+        if len(self.blocks_per_stage) != len(MAX_BLOCKS_PER_STAGE):
+            raise ReproError("need one depth per stage")
+        for depth, limit in zip(self.blocks_per_stage, MAX_BLOCKS_PER_STAGE):
+            if not limit - max(DEPTH_REMOVALS) <= depth <= limit:
+                raise ReproError(
+                    f"stage depth {depth} outside [{limit - max(DEPTH_REMOVALS)}, {limit}]")
+        if len(self.expand_ratios) != sum(MAX_BLOCKS_PER_STAGE):
+            raise ReproError(
+                f"need {sum(MAX_BLOCKS_PER_STAGE)} expand ratios")
+        for ratio in self.expand_ratios:
+            if ratio not in EXPAND_CHOICES:
+                raise ReproError(f"expand ratio {ratio} not in {EXPAND_CHOICES}")
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(self.blocks_per_stage)
+
+    def active_expand_ratios(self) -> List[float]:
+        """Expand ratios of the blocks that actually exist."""
+        ratios: List[float] = []
+        slot = 0
+        for stage, limit in enumerate(MAX_BLOCKS_PER_STAGE):
+            depth = self.blocks_per_stage[stage]
+            ratios.extend(self.expand_ratios[slot:slot + depth])
+            slot += limit
+        return ratios
+
+    def describe(self) -> str:
+        depths = "-".join(str(d) for d in self.blocks_per_stage)
+        return (f"w{self.width_mult:g} r{self.image_size} d[{depths}] "
+                f"e~{np.mean(self.active_expand_ratios()):.2f}")
+
+
+class OFAResNetSpace:
+    """Sampling, mutation and crossover over :class:`ResNetArch`."""
+
+    def sample(self, seed: SeedLike = None) -> ResNetArch:
+        """Uniform random architecture."""
+        rng = ensure_rng(seed)
+        blocks = tuple(int(limit - rng.choice(DEPTH_REMOVALS))
+                       for limit in MAX_BLOCKS_PER_STAGE)
+        expands = tuple(float(rng.choice(EXPAND_CHOICES))
+                        for _ in range(sum(MAX_BLOCKS_PER_STAGE)))
+        return ResNetArch(
+            width_mult=float(rng.choice(WIDTH_CHOICES)),
+            image_size=int(rng.choice(IMAGE_SIZES)),
+            blocks_per_stage=blocks,
+            expand_ratios=expands,
+        )
+
+    def largest(self) -> ResNetArch:
+        """The biggest subnet (upper anchor of the space)."""
+        return ResNetArch(
+            width_mult=max(WIDTH_CHOICES),
+            image_size=max(IMAGE_SIZES),
+            blocks_per_stage=tuple(MAX_BLOCKS_PER_STAGE),
+            expand_ratios=tuple(max(EXPAND_CHOICES)
+                                for _ in range(sum(MAX_BLOCKS_PER_STAGE))),
+        )
+
+    def resnet50_like(self) -> ResNetArch:
+        """The point closest to vanilla ResNet-50 (reference anchor)."""
+        return ResNetArch(
+            width_mult=1.0,
+            image_size=224,
+            blocks_per_stage=(3, 4, 6, 3),
+            expand_ratios=tuple(0.25 for _ in range(sum(MAX_BLOCKS_PER_STAGE))),
+        )
+
+    def mutate(self, arch: ResNetArch, rate: float,
+               seed: SeedLike = None) -> ResNetArch:
+        """Flip each gene with probability ``rate`` to a random choice."""
+        rng = ensure_rng(seed)
+        width = (float(rng.choice(WIDTH_CHOICES))
+                 if rng.random() < rate else arch.width_mult)
+        image = (int(rng.choice(IMAGE_SIZES))
+                 if rng.random() < rate else arch.image_size)
+        blocks = tuple(
+            int(limit - rng.choice(DEPTH_REMOVALS)) if rng.random() < rate else depth
+            for depth, limit in zip(arch.blocks_per_stage, MAX_BLOCKS_PER_STAGE))
+        expands = tuple(
+            float(rng.choice(EXPAND_CHOICES)) if rng.random() < rate else ratio
+            for ratio in arch.expand_ratios)
+        return ResNetArch(width_mult=width, image_size=image,
+                          blocks_per_stage=blocks, expand_ratios=expands)
+
+    def crossover(self, parent_a: ResNetArch, parent_b: ResNetArch,
+                  seed: SeedLike = None) -> ResNetArch:
+        """Uniform crossover: each gene from a random parent."""
+        rng = ensure_rng(seed)
+
+        def pick(a, b):
+            return a if rng.random() < 0.5 else b
+
+        blocks = tuple(pick(da, db) for da, db in
+                       zip(parent_a.blocks_per_stage, parent_b.blocks_per_stage))
+        expands = tuple(pick(ea, eb) for ea, eb in
+                        zip(parent_a.expand_ratios, parent_b.expand_ratios))
+        return ResNetArch(
+            width_mult=pick(parent_a.width_mult, parent_b.width_mult),
+            image_size=pick(parent_a.image_size, parent_b.image_size),
+            blocks_per_stage=blocks,
+            expand_ratios=expands,
+        )
+
+    @property
+    def cardinality(self) -> float:
+        """Approximate number of architectures in the space."""
+        depth_choices = len(DEPTH_REMOVALS) ** len(MAX_BLOCKS_PER_STAGE)
+        expand_choices = len(EXPAND_CHOICES) ** sum(MAX_BLOCKS_PER_STAGE)
+        return (len(WIDTH_CHOICES) * len(IMAGE_SIZES)
+                * depth_choices * expand_choices)

@@ -1,0 +1,161 @@
+"""Evolutionary NAS over the OFA space, rewarded by hardware EDP (§II-C).
+
+Mirrors the paper's Fig 1 "Neural Network Population" box: sample
+architectures meeting an accuracy floor, score each by mapping-searched
+EDP on a *fixed* accelerator, evolve by mutation + crossover from the
+fittest parents.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Tuple
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.cost.model import CostModel
+from repro.cost.report import NetworkCost
+from repro.nas.accuracy import AccuracyPredictor
+from repro.nas.ofa_space import OFAResNetSpace, ResNetArch
+from repro.nas.subnet import build_subnet
+from repro.search.accelerator_search import evaluate_accelerator
+from repro.search.cache import EvaluationCache
+from repro.search.mapping_search import MappingSearchBudget
+from repro.search.result import IterationStats
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+
+logger = get_logger(__name__)
+
+
+@dataclasses.dataclass(frozen=True)
+class NASBudget:
+    """Evolution budget for the network population."""
+
+    population: int = 12
+    iterations: int = 6
+    parent_fraction: float = 0.25
+    mutation_rate: float = 0.15
+    #: Fraction of each generation produced by mutation (rest: crossover).
+    mutation_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.population < 2 or self.iterations < 1:
+            raise ValueError("NAS budget must be at least 2x1")
+
+
+@dataclasses.dataclass(frozen=True)
+class NASResult:
+    """Best architecture found for one accelerator."""
+
+    best_arch: Optional[ResNetArch]
+    best_cost: Optional[NetworkCost]
+    best_accuracy: float
+    best_edp: float
+    history: Tuple[IterationStats, ...]
+    evaluations: int
+
+    @property
+    def found(self) -> bool:
+        return self.best_arch is not None
+
+
+def search_architecture(accel: AcceleratorConfig,
+                        cost_model: CostModel,
+                        accuracy_floor: float,
+                        budget: NASBudget = NASBudget(),
+                        mapping_budget: MappingSearchBudget = MappingSearchBudget(),
+                        seed: SeedLike = None,
+                        predictor: Optional[AccuracyPredictor] = None,
+                        cache: Optional[EvaluationCache] = None,
+                        ) -> NASResult:
+    """Find the lowest-EDP subnet meeting ``accuracy_floor`` on ``accel``."""
+    rng = ensure_rng(seed)
+    space = OFAResNetSpace()
+    predictor = predictor or AccuracyPredictor()
+    cache = cache if cache is not None else EvaluationCache()
+
+    def sample_admissible(max_attempts: int = 64) -> Optional[ResNetArch]:
+        for _ in range(max_attempts):
+            arch = space.sample(seed=rng)
+            if predictor(arch) >= accuracy_floor:
+                return arch
+        # Tight accuracy floors make uniform samples inadmissible almost
+        # surely; fall back to light mutations of the most accurate
+        # subnet, which meets any feasible floor.
+        for _ in range(max_attempts):
+            arch = space.mutate(space.largest(), rate=0.1, seed=rng)
+            if predictor(arch) >= accuracy_floor:
+                return arch
+        largest = space.largest()
+        return largest if predictor(largest) >= accuracy_floor else None
+
+    def evaluate(arch: ResNetArch) -> Tuple[float, Optional[NetworkCost]]:
+        network = build_subnet(arch)
+        reward, costs, _ = evaluate_accelerator(
+            accel, [network], cost_model, mapping_budget,
+            seed=spawn_rngs(rng, 1)[0], cache=cache)
+        return reward, costs.get(network.name)
+
+    population: List[ResNetArch] = []
+    while len(population) < budget.population:
+        arch = sample_admissible()
+        if arch is None:
+            break
+        population.append(arch)
+    if not population:
+        return NASResult(best_arch=None, best_cost=None, best_accuracy=0.0,
+                         best_edp=math.inf, history=(), evaluations=0)
+
+    best_arch: Optional[ResNetArch] = None
+    best_cost: Optional[NetworkCost] = None
+    best_edp = math.inf
+    history: List[IterationStats] = []
+    evaluations = 0
+
+    for iteration in range(budget.iterations):
+        fitnesses = []
+        for arch in population:
+            edp, cost = evaluate(arch)
+            evaluations += 1
+            fitnesses.append(edp)
+            if edp < best_edp:
+                best_edp = edp
+                best_arch = arch
+                best_cost = cost
+        finite = [f for f in fitnesses if math.isfinite(f)]
+        history.append(IterationStats(
+            iteration=iteration,
+            best_fitness=min(finite) if finite else math.inf,
+            mean_fitness=sum(finite) / len(finite) if finite else math.inf,
+            valid_count=len(finite),
+            population=len(population),
+        ))
+        if iteration == budget.iterations - 1:
+            break
+
+        ranked = sorted(zip(fitnesses, range(len(population))),
+                        key=lambda pair: pair[0])
+        parent_count = max(2, int(round(len(population) * budget.parent_fraction)))
+        parents = [population[i] for _, i in ranked[:parent_count]]
+        next_population: List[ResNetArch] = list(parents)
+        while len(next_population) < budget.population:
+            if rng.random() < budget.mutation_fraction:
+                parent = parents[int(rng.integers(len(parents)))]
+                child = space.mutate(parent, budget.mutation_rate, seed=rng)
+            else:
+                a, b = rng.integers(len(parents)), rng.integers(len(parents))
+                child = space.crossover(parents[int(a)], parents[int(b)], seed=rng)
+            if predictor(child) >= accuracy_floor:
+                next_population.append(child)
+            else:
+                fallback = sample_admissible(max_attempts=16)
+                if fallback is not None:
+                    next_population.append(fallback)
+        population = next_population
+        logger.debug("NAS iter %d best EDP %.3e", iteration, best_edp)
+
+    best_accuracy = predictor(best_arch) if best_arch else 0.0
+    return NASResult(best_arch=best_arch, best_cost=best_cost,
+                     best_accuracy=best_accuracy, best_edp=best_edp,
+                     history=tuple(history), evaluations=evaluations)

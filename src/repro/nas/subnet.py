@@ -1,0 +1,66 @@
+"""Materialize an OFA architecture into a conv-layer workload network."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.nas.ofa_space import (
+    STAGE_CHANNELS,
+    STEM_CHANNELS,
+    MAX_BLOCKS_PER_STAGE,
+    ResNetArch,
+)
+from repro.tensors.layer import ConvLayer, conv1x1, linear_as_conv
+from repro.tensors.network import Network
+from repro.utils.mathutils import ceil_div
+
+
+def _scale_channels(channels: int, width_mult: float) -> int:
+    """Width-scaled channel count, kept a multiple of 8 (OFA convention)."""
+    return max(8, int(round(channels * width_mult / 8.0)) * 8)
+
+
+def build_subnet(arch: ResNetArch, batch: int = 1, bits: int = 8) -> Network:
+    """Workload network for one OFA ResNet subnet.
+
+    Spatial bookkeeping: stem conv (stride 2) + max-pool (stride 2) put
+    stage 1 at 1/4 resolution; stages 2-4 halve it again via their first
+    block.
+    """
+    layers: List[ConvLayer] = []
+    size = ceil_div(arch.image_size, 2)
+    layers.append(ConvLayer(
+        name="stem", n=batch, k=_scale_channels(STEM_CHANNELS, arch.width_mult),
+        c=3, y=size, x=size, r=7, s=7, stride=2, bits=bits))
+    size = ceil_div(size, 2)  # max-pool
+
+    in_channels = _scale_channels(STEM_CHANNELS, arch.width_mult)
+    slot = 0
+    for stage, limit in enumerate(MAX_BLOCKS_PER_STAGE):
+        out_channels = _scale_channels(STAGE_CHANNELS[stage], arch.width_mult)
+        depth = arch.blocks_per_stage[stage]
+        for block in range(depth):
+            stride = 2 if (block == 0 and stage > 0) else 1
+            size = ceil_div(size, stride)
+            ratio = arch.expand_ratios[slot + block]
+            width = max(8, int(round(out_channels * ratio / 8.0)) * 8)
+            prefix = f"s{stage + 1}b{block + 1}"
+            layers.append(conv1x1(
+                f"{prefix}_reduce", width, in_channels,
+                y=size, x=size, stride=stride, n=batch, bits=bits))
+            layers.append(ConvLayer(
+                name=f"{prefix}_conv", n=batch, k=width, c=width,
+                y=size, x=size, r=3, s=3, bits=bits))
+            layers.append(conv1x1(
+                f"{prefix}_expand", out_channels, width,
+                y=size, x=size, n=batch, bits=bits))
+            if block == 0:
+                layers.append(conv1x1(
+                    f"{prefix}_proj", out_channels, in_channels,
+                    y=size, x=size, stride=stride, n=batch, bits=bits))
+            in_channels = out_channels
+        slot += limit
+
+    layers.append(linear_as_conv("fc", 1000, in_channels, n=batch, bits=bits))
+    return Network(name=f"ofa-{arch.describe().replace(' ', '_')}",
+                   layers=tuple(layers))

@@ -1,0 +1,33 @@
+"""Evolutionary search: the NAAS optimization loops.
+
+- :mod:`repro.search.es` — the CMA-style evolution strategy (§II-A(c)):
+  sample from a multivariate normal over [0,1]^n, select the fittest,
+  re-center the distribution on the parents and update its covariance.
+- :mod:`repro.search.random_search` — the uniform-sampling baseline of Fig 4.
+- :mod:`repro.search.mapping_search` — the inner loop (§II-B): per-layer
+  loop orders and tilings.
+- :mod:`repro.search.accelerator_search` — the outer loop (§II-A): the
+  full NAAS hardware search with nested mapping search.
+"""
+
+from repro.search.accelerator_search import NAASBudget, search_accelerator
+from repro.search.es import EvolutionEngine
+from repro.search.mapping_search import MappingSearchBudget, search_mapping
+from repro.search.random_search import RandomEngine
+from repro.search.result import (
+    AcceleratorSearchResult,
+    IterationStats,
+    MappingSearchResult,
+)
+
+__all__ = [
+    "AcceleratorSearchResult",
+    "EvolutionEngine",
+    "IterationStats",
+    "MappingSearchBudget",
+    "MappingSearchResult",
+    "NAASBudget",
+    "RandomEngine",
+    "search_accelerator",
+    "search_mapping",
+]

@@ -1,0 +1,189 @@
+"""Outer loop: the NAAS accelerator architecture search (§II-A).
+
+Each hardware candidate is scored by running the inner mapping search
+for every unique layer of every benchmark network and aggregating the
+resulting per-network EDPs (geomean). Candidates violating the resource
+constraint are rejected at decode time and re-sampled, exactly as the
+paper describes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.accelerator.constraints import ResourceConstraint
+from repro.cost.model import CostModel
+from repro.cost.report import NetworkCost
+from repro.encoding.hardware import HardwareEncoder
+from repro.encoding.spaces import EncodingStyle
+from repro.errors import EncodingError
+from repro.mapping.mapping import Mapping
+from repro.search.cache import EvaluationCache
+from repro.search.es import EvolutionEngine
+from repro.search.mapping_search import MappingSearchBudget, search_mapping
+from repro.search.objectives import RewardFn, geomean_edp
+from repro.search.result import (
+    AcceleratorSearchResult,
+    IterationStats,
+    MappingSearchResult,
+)
+from repro.tensors.network import Network, shape_key
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+
+logger = get_logger(__name__)
+
+
+@dataclasses.dataclass(frozen=True)
+class NAASBudget:
+    """Evolution budgets for the two nested loops."""
+
+    accel_population: int = 10
+    accel_iterations: int = 8
+    mapping: MappingSearchBudget = MappingSearchBudget()
+
+    def __post_init__(self) -> None:
+        if self.accel_population < 1 or self.accel_iterations < 1:
+            raise ValueError(
+                f"budget must be at least 1x1, got "
+                f"{self.accel_population}x{self.accel_iterations}")
+
+
+def evaluate_accelerator(accel: AcceleratorConfig,
+                         networks: Sequence[Network],
+                         cost_model: CostModel,
+                         mapping_budget: MappingSearchBudget,
+                         seed: SeedLike = None,
+                         mapping_style: EncodingStyle = EncodingStyle.IMPORTANCE,
+                         cache: Optional[EvaluationCache] = None,
+                         reward_fn: RewardFn = geomean_edp,
+                         ) -> Tuple[float, Dict[str, NetworkCost], Dict[str, Mapping]]:
+    """Score one accelerator: best-mapping EDP per network, geomean reward.
+
+    Returns ``(reward, {network -> NetworkCost}, {layer -> Mapping})``.
+    The mapping search runs once per unique layer shape; results are
+    memoized on ``(accel, shape)`` across calls when a cache is supplied.
+    """
+    rng = ensure_rng(seed)
+    network_costs: Dict[str, NetworkCost] = {}
+    best_mappings: Dict[str, Mapping] = {}
+    for network in networks:
+        layer_costs = []
+        for layer, count in network.unique_shapes():
+            key = (accel, shape_key(layer), mapping_style)
+
+            def run_search(layer=layer) -> MappingSearchResult:
+                return search_mapping(
+                    layer, accel, cost_model, budget=mapping_budget,
+                    seed=spawn_rngs(rng, 1)[0], style=mapping_style)
+
+            if cache is None:
+                result = run_search()
+            else:
+                result = cache.get_or_compute(key, run_search)
+            if not result.found:
+                logger.debug("no mapping for %s on %s", layer.name, accel.name)
+                network_costs[network.name] = NetworkCost(
+                    network_name=network.name, layer_costs=())
+                break
+            best_mappings[layer.name] = result.best_mapping
+            for _ in range(count):
+                layer_costs.append(result.best_cost)
+        else:
+            network_costs[network.name] = NetworkCost(
+                network_name=network.name, layer_costs=tuple(layer_costs))
+    reward = reward_fn([network_costs[n.name] for n in networks
+                        if n.name in network_costs])
+    if len(network_costs) < len(networks):
+        reward = math.inf
+    return reward, network_costs, best_mappings
+
+
+def search_accelerator(networks: Sequence[Network],
+                       constraint: ResourceConstraint,
+                       cost_model: CostModel,
+                       budget: NAASBudget = NAASBudget(),
+                       seed: SeedLike = None,
+                       hardware_style: EncodingStyle = EncodingStyle.IMPORTANCE,
+                       mapping_style: EncodingStyle = EncodingStyle.IMPORTANCE,
+                       seed_configs: Sequence[AcceleratorConfig] = (),
+                       engine_cls: Type = EvolutionEngine,
+                       max_decode_attempts: int = 32,
+                       reward_fn: RewardFn = geomean_edp,
+                       ) -> AcceleratorSearchResult:
+    """Run the full NAAS hardware search under a resource constraint.
+
+    ``seed_configs`` are encoded and injected into the first generation,
+    letting the search warm-start from (e.g.) the baseline preset.
+    """
+    rng = ensure_rng(seed)
+    encoder = HardwareEncoder(constraint, style=hardware_style)
+    engine = engine_cls(encoder.num_params, seed=rng)
+    cache = EvaluationCache()
+
+    best_config: Optional[AcceleratorConfig] = None
+    best_reward = math.inf
+    best_costs: Dict[str, NetworkCost] = {}
+    best_maps: Dict[str, Mapping] = {}
+    history: List[IterationStats] = []
+    evaluations = 0
+
+    injected = [encoder.encode(config) for config in seed_configs]
+
+    for iteration in range(budget.accel_iterations):
+        vectors = []
+        fitnesses = []
+        valid = 0
+        for member in range(budget.accel_population):
+            if iteration == 0 and member < len(injected):
+                vector = injected[member]
+            else:
+                vector = engine.sample()
+            config = None
+            for _ in range(max_decode_attempts):
+                try:
+                    config = encoder.decode(
+                        vector, name=f"naas-g{iteration}m{member}")
+                    break
+                except EncodingError:
+                    vector = engine.sample()
+            vectors.append(vector)
+            if config is None:
+                fitnesses.append(math.inf)
+                continue
+            reward, costs, maps = evaluate_accelerator(
+                config, networks, cost_model, budget.mapping,
+                seed=spawn_rngs(rng, 1)[0], mapping_style=mapping_style,
+                cache=cache, reward_fn=reward_fn)
+            evaluations += 1
+            fitnesses.append(reward)
+            if math.isfinite(reward):
+                valid += 1
+                if reward < best_reward:
+                    best_reward = reward
+                    best_config = config
+                    best_costs = costs
+                    best_maps = maps
+        engine.update(vectors, fitnesses)
+        finite = [f for f in fitnesses if math.isfinite(f)]
+        history.append(IterationStats(
+            iteration=iteration,
+            best_fitness=min(finite) if finite else math.inf,
+            mean_fitness=sum(finite) / len(finite) if finite else math.inf,
+            valid_count=valid,
+            population=budget.accel_population,
+        ))
+        logger.info("NAAS iter %d: best reward %.3e (%d/%d valid)",
+                    iteration, best_reward, valid, budget.accel_population)
+
+    return AcceleratorSearchResult(
+        best_config=best_config,
+        best_reward=best_reward,
+        network_costs=best_costs,
+        best_mappings=best_maps,
+        history=tuple(history),
+        evaluations=evaluations,
+    )

@@ -1,0 +1,50 @@
+"""Memoization for expensive inner-loop evaluations.
+
+The outer evolution loop frequently revisits similar accelerator
+candidates, and multiple networks share layer shapes. Keys are plain
+hashables (frozen dataclasses / shape tuples), so a dict suffices; the
+class adds hit statistics and a size bound.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+
+class EvaluationCache:
+    """Bounded LRU memo-table with hit/miss counters."""
+
+    def __init__(self, max_entries: int = 100_000) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._store: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key`` or compute and store it."""
+        if key in self._store:
+            self.hits += 1
+            self._store.move_to_end(key)
+            return self._store[key]
+        self.misses += 1
+        value = compute()
+        self._store[key] = value
+        if len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+        return value
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0

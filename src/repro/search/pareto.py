@@ -1,0 +1,99 @@
+"""Pareto-front utilities for accuracy/EDP trade-off studies (Fig 10).
+
+The paper reports single operating points; research users usually want
+the whole accuracy-vs-EDP frontier. These helpers compute
+non-dominated sets and sweep the joint search across accuracy floors to
+trace the frontier.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.cost.model import CostModel
+from repro.nas.accuracy import AccuracyPredictor
+from repro.nas.ofa_space import ResNetArch
+from repro.nas.search import NASBudget, search_architecture
+from repro.search.mapping_search import MappingSearchBudget
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+
+
+@dataclasses.dataclass(frozen=True)
+class FrontierPoint:
+    """One (accuracy, EDP) operating point with its provenance."""
+
+    accuracy: float
+    edp: float
+    label: str = ""
+    arch: Optional[ResNetArch] = None
+
+    def dominates(self, other: "FrontierPoint") -> bool:
+        """Better-or-equal on both axes, strictly better on one."""
+        at_least = self.accuracy >= other.accuracy and self.edp <= other.edp
+        strictly = self.accuracy > other.accuracy or self.edp < other.edp
+        return at_least and strictly
+
+
+def pareto_front(points: Sequence[FrontierPoint]) -> List[FrontierPoint]:
+    """Non-dominated subset, sorted by ascending EDP."""
+    front = [p for p in points
+             if not any(q.dominates(p) for q in points if q is not p)]
+    # De-duplicate identical (accuracy, edp) pairs.
+    seen = set()
+    unique = []
+    for point in sorted(front, key=lambda p: (p.edp, -p.accuracy)):
+        key = (point.accuracy, point.edp)
+        if key not in seen:
+            seen.add(key)
+            unique.append(point)
+    return unique
+
+
+def hypervolume(front: Sequence[FrontierPoint],
+                reference: Tuple[float, float]) -> float:
+    """2-D hypervolume (accuracy above ref, EDP below ref); larger = better.
+
+    ``reference`` is (accuracy_floor, edp_ceiling). Standard quality
+    indicator for comparing frontiers.
+    """
+    ref_acc, ref_edp = reference
+    usable = sorted((p for p in pareto_front(front)
+                     if p.accuracy >= ref_acc and p.edp <= ref_edp),
+                    key=lambda p: p.edp)
+    volume = 0.0
+    prev_edp = ref_edp
+    for point in sorted(usable, key=lambda p: -p.edp):
+        volume += (prev_edp - point.edp) * max(0.0, point.accuracy - ref_acc)
+        prev_edp = point.edp
+    return volume
+
+
+def sweep_accuracy_frontier(accel: AcceleratorConfig,
+                            cost_model: CostModel,
+                            accuracy_floors: Sequence[float],
+                            nas_budget: NASBudget = NASBudget(),
+                            mapping_budget: MappingSearchBudget = MappingSearchBudget(),
+                            seed: SeedLike = None,
+                            predictor: Optional[AccuracyPredictor] = None,
+                            ) -> List[FrontierPoint]:
+    """Trace the accuracy/EDP frontier on fixed hardware.
+
+    Runs the NAS loop once per accuracy floor; each run contributes its
+    best point. The returned list is the non-dominated subset.
+    """
+    rng = ensure_rng(seed)
+    predictor = predictor or AccuracyPredictor()
+    points: List[FrontierPoint] = []
+    for floor in accuracy_floors:
+        result = search_architecture(
+            accel, cost_model, accuracy_floor=floor, budget=nas_budget,
+            mapping_budget=mapping_budget, seed=spawn_rngs(rng, 1)[0],
+            predictor=predictor)
+        if result.found and math.isfinite(result.best_edp):
+            points.append(FrontierPoint(
+                accuracy=result.best_accuracy, edp=result.best_edp,
+                label=f"floor>={floor:g}", arch=result.best_arch))
+    return pareto_front(points)

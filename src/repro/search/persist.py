@@ -1,0 +1,96 @@
+"""Persist and reload searched designs.
+
+Long searches should survive interruption and their winners should be
+shareable artifacts. This module round-trips the pieces that matter —
+the accelerator config and the per-layer mappings — through plain JSON,
+reconstructing the typed objects on load.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.errors import ReproError
+from repro.mapping.mapping import Mapping
+from repro.search.result import AcceleratorSearchResult
+from repro.tensors.dims import Dim
+from repro.utils.serialization import dump_json, load_json, to_jsonable
+
+
+def config_to_dict(config: AcceleratorConfig) -> Dict[str, Any]:
+    return to_jsonable(config)
+
+
+def config_from_dict(payload: Dict[str, Any]) -> AcceleratorConfig:
+    """Rebuild an :class:`AcceleratorConfig` from its JSON form."""
+    try:
+        return AcceleratorConfig(
+            array_dims=tuple(int(d) for d in payload["array_dims"]),
+            parallel_dims=tuple(Dim[name] for name in payload["parallel_dims"]),
+            l1_bytes=int(payload["l1_bytes"]),
+            l2_bytes=int(payload["l2_bytes"]),
+            dram_bandwidth=int(payload["dram_bandwidth"]),
+            name=str(payload.get("name", "loaded")),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed accelerator payload: {exc}") from exc
+
+
+def mapping_to_dict(mapping: Mapping) -> Dict[str, Any]:
+    return {
+        "array_order": [d.name for d in mapping.array_order],
+        "pe_order": [d.name for d in mapping.pe_order],
+        "tiles": {d.name: size for d, size in mapping.tiles},
+    }
+
+
+def mapping_from_dict(payload: Dict[str, Any]) -> Mapping:
+    """Rebuild a :class:`Mapping` from its JSON form."""
+    try:
+        return Mapping.create(
+            array_order=tuple(Dim[name] for name in payload["array_order"]),
+            pe_order=tuple(Dim[name] for name in payload["pe_order"]),
+            tiles={Dim[name]: int(size)
+                   for name, size in payload["tiles"].items()},
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed mapping payload: {exc}") from exc
+
+
+def save_search_result(result: AcceleratorSearchResult,
+                       path: Union[str, Path]) -> None:
+    """Write a search result's reusable artifacts to JSON."""
+    if not result.found:
+        raise ReproError("refusing to persist a search with no valid design")
+    payload = {
+        "best_config": config_to_dict(result.best_config),
+        "best_reward": result.best_reward,
+        "best_mappings": {name: mapping_to_dict(m)
+                          for name, m in result.best_mappings.items()},
+        "evaluations": result.evaluations,
+        "history": [to_jsonable(stats) for stats in result.history],
+    }
+    dump_json(payload, path)
+
+
+def load_search_artifacts(path: Union[str, Path],
+                          ) -> Dict[str, Any]:
+    """Load a persisted search: typed config + mappings + metadata.
+
+    Returns a dict with keys ``config`` (:class:`AcceleratorConfig`),
+    ``mappings`` ({layer name -> :class:`Mapping`}), ``reward`` and
+    ``evaluations``.
+    """
+    payload = load_json(path)
+    try:
+        return {
+            "config": config_from_dict(payload["best_config"]),
+            "mappings": {name: mapping_from_dict(m)
+                         for name, m in payload["best_mappings"].items()},
+            "reward": float(payload["best_reward"]),
+            "evaluations": int(payload["evaluations"]),
+        }
+    except KeyError as exc:
+        raise ReproError(f"missing field in search artifact: {exc}") from exc

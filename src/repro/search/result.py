@@ -1,0 +1,61 @@
+"""Result records for the search loops."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Optional, Tuple
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.cost.report import LayerCost, NetworkCost
+from repro.mapping.mapping import Mapping
+
+
+@dataclasses.dataclass(frozen=True)
+class IterationStats:
+    """Population statistics of one search generation (for Fig 4)."""
+
+    iteration: int
+    best_fitness: float
+    mean_fitness: float
+    valid_count: int
+    population: int
+
+    @property
+    def valid_fraction(self) -> float:
+        return self.valid_count / self.population if self.population else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class MappingSearchResult:
+    """Outcome of the inner (mapping) search for one layer."""
+
+    layer_name: str
+    best_mapping: Optional[Mapping]
+    best_cost: Optional[LayerCost]
+    history: Tuple[IterationStats, ...]
+    evaluations: int
+
+    @property
+    def found(self) -> bool:
+        return self.best_mapping is not None and self.best_cost is not None
+
+    @property
+    def best_edp(self) -> float:
+        return self.best_cost.edp if self.best_cost else math.inf
+
+
+@dataclasses.dataclass(frozen=True)
+class AcceleratorSearchResult:
+    """Outcome of the outer (NAAS hardware) search."""
+
+    best_config: Optional[AcceleratorConfig]
+    best_reward: float
+    network_costs: Dict[str, NetworkCost]
+    best_mappings: Dict[str, Mapping]
+    history: Tuple[IterationStats, ...]
+    evaluations: int
+
+    @property
+    def found(self) -> bool:
+        return self.best_config is not None and math.isfinite(self.best_reward)

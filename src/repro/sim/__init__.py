@@ -1,0 +1,19 @@
+"""Reference trace simulator: ground truth for the analytical cost model.
+
+Analytical models earn trust by validation. This package *executes* a
+mapped loop nest element-by-element for small layers — every MAC, every
+operand touch, an LRU-managed L2 — and reports exact counts the
+analytical model's outputs can be checked against:
+
+- total MACs and per-operand distinct elements must match exactly;
+- compute steps must match exactly when tiles divide the dimensions
+  (the analytical ceil products are upper bounds otherwise);
+- DRAM traffic under a real LRU of the same capacity must bracket the
+  analytical reuse-window estimate.
+
+``tests/test_sim_validation.py`` runs these cross-checks.
+"""
+
+from repro.sim.reference import ReferenceSimulator, SimulationCounts
+
+__all__ = ["ReferenceSimulator", "SimulationCounts"]

@@ -1,0 +1,204 @@
+"""Element-level execution of a mapped loop nest (the validation oracle).
+
+The simulator mirrors the cost model's machine: outer loops walk L2
+tiles in the mapping's array-level order; within a tile, PE-dispatch
+loops walk elements in the PE-level order, advancing parallel dimensions
+in chunks of the (effective) array-axis size; each active lane performs
+one MAC per step. A real LRU cache of the L2's byte capacity sits
+between the loop nest and DRAM, with dirty-eviction accounting for
+partial sums.
+
+Everything is counted by direct execution — no formulas — so agreement
+with :mod:`repro.cost` is evidence, not tautology. Intended for small
+layers (the ``max_macs`` guard protects against accidental 10^9-MAC
+runs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from collections import OrderedDict
+from typing import Dict, List, Set, Tuple
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.errors import EvaluationError
+from repro.mapping.mapping import Mapping
+from repro.tensors.dims import DIM_INDEX, Dim
+from repro.tensors.layer import ConvLayer
+from repro.utils.mathutils import ceil_div
+
+ElementId = Tuple  # ('W'|'I'|'O', indices...)
+
+
+@dataclasses.dataclass
+class SimulationCounts:
+    """Exact counters produced by one simulated layer execution."""
+
+    macs: int = 0
+    steps: int = 0
+    lane_steps: int = 0  # sum of active lanes over steps
+    distinct_weights: int = 0
+    distinct_inputs: int = 0
+    distinct_outputs: int = 0
+    dram_read_bytes: float = 0.0
+    dram_write_bytes: float = 0.0
+
+    @property
+    def mean_active_lanes(self) -> float:
+        return self.lane_steps / self.steps if self.steps else 0.0
+
+
+class _LruL2:
+    """Byte-budgeted LRU standing in for the shared L2 buffer."""
+
+    def __init__(self, capacity_bytes: float) -> None:
+        self.capacity = capacity_bytes
+        self.store: "OrderedDict[ElementId, float]" = OrderedDict()
+        self.used = 0.0
+        self.read_bytes = 0.0
+        self.write_bytes = 0.0
+        self._evicted_outputs: Set[ElementId] = set()
+
+    def access(self, element: ElementId, size: float, is_output: bool) -> None:
+        if element in self.store:
+            self.store.move_to_end(element)
+            return
+        # Miss: outputs start life as zero-initialized psums unless a
+        # partially-accumulated copy was evicted earlier (read-back).
+        if is_output:
+            if element in self._evicted_outputs:
+                self.read_bytes += size
+        else:
+            self.read_bytes += size
+        self.store[element] = size
+        self.used += size
+        while self.used > self.capacity and self.store:
+            victim, victim_size = self.store.popitem(last=False)
+            self.used -= victim_size
+            if victim[0] == "O":
+                self.write_bytes += victim_size
+                self._evicted_outputs.add(victim)
+
+    def flush_outputs(self) -> None:
+        """Drain remaining psums to DRAM at the end of the layer."""
+        for element, size in self.store.items():
+            if element[0] == "O":
+                self.write_bytes += size
+        self.store.clear()
+        self.used = 0.0
+
+
+class ReferenceSimulator:
+    """Executes (layer, accelerator, mapping) and counts exact events."""
+
+    def __init__(self, max_macs: int = 2_000_000,
+                 psum_bytes: int = 4) -> None:
+        self.max_macs = max_macs
+        self.psum_bytes = psum_bytes
+
+    def run(self, layer: ConvLayer, accel: AcceleratorConfig,
+            mapping: Mapping) -> SimulationCounts:
+        if layer.macs > self.max_macs:
+            raise EvaluationError(
+                f"layer {layer.name!r} has {layer.macs} MACs, beyond the "
+                f"simulator guard of {self.max_macs}")
+        if not mapping.legal_for(layer):
+            raise EvaluationError("mapping tiles exceed layer dimensions")
+
+        sizes = {dim: layer.dim_size(dim) for dim in Dim}
+        tiles = {dim: min(mapping.tile(dim), sizes[dim])
+                 for dim in mapping.tile_map}
+        tiles[Dim.N] = 1
+        axis_eff = {dim: min(axis, tiles[dim])
+                    for dim, axis in zip(accel.parallel_dims,
+                                         accel.array_dims)}
+
+        outer_dims: List[Dim] = [Dim.N] + list(mapping.array_order)
+        outer_ranges = [range(ceil_div(sizes[d], tiles[d]))
+                        for d in outer_dims]
+
+        bpe = layer.bytes_per_element
+        counts = SimulationCounts()
+        l2 = _LruL2(float(accel.l2_bytes))
+        weights: Set[ElementId] = set()
+        inputs: Set[ElementId] = set()
+        outputs: Set[ElementId] = set()
+        grouped = layer.groups > 1
+
+        for outer_index in itertools.product(*outer_ranges):
+            tile_start = {d: outer_index[i] * tiles[d]
+                          for i, d in enumerate(outer_dims)}
+            tile_len = {d: min(tiles[d], sizes[d] - tile_start[d])
+                        for d in outer_dims}
+            self._run_tile(layer, accel, mapping, tile_start, tile_len,
+                           axis_eff, counts, l2, weights, inputs, outputs,
+                           bpe, grouped)
+
+        l2.flush_outputs()
+        counts.distinct_weights = len(weights)
+        counts.distinct_inputs = len(inputs)
+        counts.distinct_outputs = len(outputs)
+        counts.dram_read_bytes = l2.read_bytes
+        counts.dram_write_bytes = l2.write_bytes
+        return counts
+
+    def _run_tile(self, layer, accel, mapping, tile_start, tile_len,
+                  axis_eff, counts, l2, weights, inputs, outputs,
+                  bpe, grouped) -> None:
+        # PE-dispatch loops: parallel dims advance by chunks of the
+        # effective axis size, everything else element by element.
+        step_ranges = []
+        for dim in mapping.pe_order:
+            length = tile_len[dim]
+            if dim in axis_eff:
+                step_ranges.append(range(ceil_div(length, axis_eff[dim])))
+            else:
+                step_ranges.append(range(length))
+
+        parallel_dims = list(axis_eff)
+        for step_index in itertools.product(*step_ranges):
+            position = dict(zip(mapping.pe_order, step_index))
+            lane_axes = []
+            for dim in parallel_dims:
+                chunk_start = position[dim] * axis_eff[dim]
+                chunk = min(axis_eff[dim], tile_len[dim] - chunk_start)
+                lane_axes.append(range(chunk))
+            counts.steps += 1
+            for lane in itertools.product(*lane_axes):
+                index: Dict[Dim, int] = {}
+                for dim in mapping.pe_order:
+                    if dim in axis_eff:
+                        offset = lane[parallel_dims.index(dim)]
+                        index[dim] = (tile_start[dim]
+                                      + position[dim] * axis_eff[dim]
+                                      + offset)
+                    else:
+                        index[dim] = tile_start[dim] + position[dim]
+                index[Dim.N] = tile_start[Dim.N]
+                self._execute_mac(layer, index, counts, l2, weights,
+                                  inputs, outputs, bpe, grouped)
+                counts.lane_steps += 1
+
+    def _execute_mac(self, layer, index, counts, l2, weights, inputs,
+                     outputs, bpe, grouped) -> None:
+        n = index[Dim.N]
+        k = index[Dim.K]
+        c = index[Dim.C]  # within-group channel
+        y, x = index[Dim.Y], index[Dim.X]
+        r, s = index[Dim.R], index[Dim.S]
+        in_channel = ((k // layer.k_per_group) * layer.c_per_group + c
+                      if grouped else c)
+        row = y * layer.stride + r
+        col = x * layer.stride + s
+
+        weight = ("W", k, c, r, s)
+        feature = ("I", n, in_channel, row, col)
+        output = ("O", n, k, y, x)
+        weights.add(weight)
+        inputs.add(feature)
+        outputs.add(output)
+        l2.access(weight, bpe, is_output=False)
+        l2.access(feature, bpe, is_output=False)
+        l2.access(output, float(self.psum_bytes), is_output=True)
+        counts.macs += 1

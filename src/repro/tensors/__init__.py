@@ -1,0 +1,23 @@
+"""Workload intermediate representation: tensor dimensions, layers, networks.
+
+The seven convolution dimensions follow the paper's notation (Fig 2):
+N (batch), K (output channels), C (input channels), Y/X (output rows/cols),
+R/S (kernel rows/cols). Input spatial extents are derived from output
+extents, stride and kernel size.
+"""
+
+from repro.tensors.dims import CONV_DIMS, SEARCHED_DIMS, Dim
+from repro.tensors.layer import ConvLayer, conv1x1, depthwise, linear_as_conv
+from repro.tensors.network import Network, unique_layers
+
+__all__ = [
+    "CONV_DIMS",
+    "ConvLayer",
+    "Dim",
+    "Network",
+    "SEARCHED_DIMS",
+    "conv1x1",
+    "depthwise",
+    "linear_as_conv",
+    "unique_layers",
+]

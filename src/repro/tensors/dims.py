@@ -1,0 +1,65 @@
+"""Tensor dimension vocabulary shared by mappings, encodings and the cost model.
+
+The paper (Fig 2) names seven loop dimensions for a convolution:
+
+=============  =======================  ==========
+Dim            Meaning                  Paper name
+=============  =======================  ==========
+``Dim.N``      batch                    N
+``Dim.K``      output channels          K
+``Dim.C``      input channels           C
+``Dim.Y``      output rows              Y'
+``Dim.X``      output columns           X'
+``Dim.R``      kernel rows              R
+``Dim.S``      kernel columns           S
+=============  =======================  ==========
+
+NAAS searches orderings/parallelism over the six non-batch dimensions
+(the paper evaluates at batch 1), exposed as :data:`SEARCHED_DIMS`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class Dim(enum.Enum):
+    """One loop dimension of a (grouped) 2-D convolution."""
+
+    N = "N"
+    K = "K"
+    C = "C"
+    Y = "Y"
+    X = "X"
+    R = "R"
+    S = "S"
+
+    def __repr__(self) -> str:  # compact repr helps debugging mappings
+        return f"Dim.{self.name}"
+
+
+#: All seven convolution dimensions, outer-product order used for iteration.
+CONV_DIMS: Tuple[Dim, ...] = (Dim.N, Dim.K, Dim.C, Dim.Y, Dim.X, Dim.R, Dim.S)
+
+#: The six dimensions NAAS searches over (batch excluded, evaluated at N=1).
+SEARCHED_DIMS: Tuple[Dim, ...] = (Dim.K, Dim.C, Dim.Y, Dim.X, Dim.R, Dim.S)
+
+#: Dimensions relevant to each operand tensor of a convolution.
+#: "Relevant" means the tensor's index expression mentions the loop variable;
+#: input feature maps depend on Y/X through the sliding window and on R/S
+#: through the halo, so all four spatial loops are input-relevant.
+WEIGHT_DIMS: Tuple[Dim, ...] = (Dim.K, Dim.C, Dim.R, Dim.S)
+INPUT_DIMS: Tuple[Dim, ...] = (Dim.N, Dim.C, Dim.Y, Dim.X, Dim.R, Dim.S)
+OUTPUT_DIMS: Tuple[Dim, ...] = (Dim.N, Dim.K, Dim.Y, Dim.X)
+
+#: Reduction dimensions: iterating them revisits the same output element.
+REDUCTION_DIMS: Tuple[Dim, ...] = (Dim.C, Dim.R, Dim.S)
+
+#: Stable integer index per dimension for the cost model's hot path
+#: (plain-int indexing avoids enum hashing in inner loops).
+DIM_INDEX = {Dim.N: 0, Dim.K: 1, Dim.C: 2, Dim.Y: 3, Dim.X: 4, Dim.R: 5, Dim.S: 6}
+INDEX_DIM: Tuple[Dim, ...] = (Dim.N, Dim.K, Dim.C, Dim.Y, Dim.X, Dim.R, Dim.S)
+
+#: Integer indices mirroring the role sets above.
+IDX_N, IDX_K, IDX_C, IDX_Y, IDX_X, IDX_R, IDX_S = range(7)

@@ -1,0 +1,191 @@
+"""Convolution layer descriptors.
+
+A :class:`ConvLayer` is the unit of work the cost model evaluates and the
+mapping search optimizes. It captures a grouped 2-D convolution; pointwise
+convs, depthwise convs and fully-connected layers are all expressible
+(helpers below). Dimensions follow :mod:`repro.tensors.dims`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.errors import InvalidLayerError
+from repro.tensors.dims import Dim
+
+
+@dataclasses.dataclass(frozen=True)
+class ConvLayer:
+    """A grouped 2-D convolution workload.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"conv3_2"``).
+    n:
+        Batch size (the paper evaluates at 1).
+    k:
+        Output channels (total across groups).
+    c:
+        Input channels (total across groups).
+    y, x:
+        *Output* feature-map rows / columns.
+    r, s:
+        Kernel rows / columns.
+    stride:
+        Convolution stride (same in both spatial dims).
+    groups:
+        Channel groups; ``groups == c == k`` gives a depthwise conv.
+    bits:
+        Operand precision in bits (8 by default, matching edge accelerators).
+    """
+
+    name: str
+    n: int = 1
+    k: int = 1
+    c: int = 1
+    y: int = 1
+    x: int = 1
+    r: int = 1
+    s: int = 1
+    stride: int = 1
+    groups: int = 1
+    bits: int = 8
+
+    def __post_init__(self) -> None:
+        for field in ("n", "k", "c", "y", "x", "r", "s", "stride", "groups", "bits"):
+            value = getattr(self, field)
+            if not isinstance(value, int) or value <= 0:
+                raise InvalidLayerError(
+                    f"layer {self.name!r}: {field} must be a positive int, got {value!r}")
+        if self.k % self.groups or self.c % self.groups:
+            raise InvalidLayerError(
+                f"layer {self.name!r}: groups={self.groups} must divide "
+                f"k={self.k} and c={self.c}")
+        # Cached trip counts indexed by repro.tensors.dims.DIM_INDEX;
+        # not a dataclass field, so equality/hash are unaffected.
+        object.__setattr__(self, "sizes7", (
+            self.n, self.k, self.c // self.groups, self.y, self.x,
+            self.r, self.s))
+
+    # ----- derived quantities ------------------------------------------------
+
+    @property
+    def is_depthwise(self) -> bool:
+        """True when each output channel reads exactly one input channel."""
+        return self.groups == self.c == self.k
+
+    @property
+    def k_per_group(self) -> int:
+        return self.k // self.groups
+
+    @property
+    def c_per_group(self) -> int:
+        return self.c // self.groups
+
+    @property
+    def input_y(self) -> int:
+        """Input rows touched by the sliding window (valid-conv footprint)."""
+        return (self.y - 1) * self.stride + self.r
+
+    @property
+    def input_x(self) -> int:
+        """Input columns touched by the sliding window."""
+        return (self.x - 1) * self.stride + self.s
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulates for the layer."""
+        return (self.n * self.groups * self.k_per_group * self.c_per_group
+                * self.y * self.x * self.r * self.s)
+
+    @property
+    def bytes_per_element(self) -> float:
+        return self.bits / 8.0
+
+    @property
+    def weight_elements(self) -> int:
+        return self.groups * self.k_per_group * self.c_per_group * self.r * self.s
+
+    @property
+    def input_elements(self) -> int:
+        return self.n * self.c * self.input_y * self.input_x
+
+    @property
+    def output_elements(self) -> int:
+        return self.n * self.k * self.y * self.x
+
+    def dim_size(self, dim: Dim) -> int:
+        """Loop trip count for ``dim``.
+
+        For grouped convolutions the searched C loop covers only the
+        channels *within* a group — the group loop itself is folded into K
+        (each output channel knows its group), which matches how depthwise
+        layers execute on spatial accelerators: C behaves like a size-1
+        reduction.
+        """
+        if dim is Dim.N:
+            return self.n
+        if dim is Dim.K:
+            return self.k
+        if dim is Dim.C:
+            return self.c_per_group
+        if dim is Dim.Y:
+            return self.y
+        if dim is Dim.X:
+            return self.x
+        if dim is Dim.R:
+            return self.r
+        if dim is Dim.S:
+            return self.s
+        raise InvalidLayerError(f"unknown dim {dim!r}")
+
+    def dim_sizes(self) -> Dict[Dim, int]:
+        """All seven trip counts keyed by :class:`Dim`."""
+        return {dim: self.dim_size(dim) for dim in Dim}
+
+    def scaled(self, width_multiplier: float, name_suffix: str = "") -> "ConvLayer":
+        """Return a copy with channel counts scaled (used by the NAS space).
+
+        Channel counts are rounded to a multiple of 8 (at least the group
+        count) so scaled layers stay hardware-friendly, mirroring how OFA
+        realizes width multipliers.
+        """
+        if width_multiplier <= 0:
+            raise InvalidLayerError(
+                f"width multiplier must be positive, got {width_multiplier}")
+
+        def scale_channels(channels: int) -> int:
+            scaled_value = max(1, int(round(channels * width_multiplier / 8.0)) * 8)
+            return scaled_value if channels >= 8 else max(1, round(channels * width_multiplier))
+
+        if self.is_depthwise:
+            new_c = scale_channels(self.c)
+            return dataclasses.replace(
+                self, name=self.name + name_suffix,
+                k=new_c, c=new_c, groups=new_c)
+        return dataclasses.replace(
+            self, name=self.name + name_suffix,
+            k=scale_channels(self.k), c=scale_channels(self.c))
+
+
+def conv1x1(name: str, k: int, c: int, y: int, x: int, stride: int = 1,
+            n: int = 1, bits: int = 8) -> ConvLayer:
+    """Pointwise convolution helper."""
+    return ConvLayer(name=name, n=n, k=k, c=c, y=y, x=x, r=1, s=1,
+                     stride=stride, bits=bits)
+
+
+def depthwise(name: str, channels: int, y: int, x: int, r: int = 3, s: int = 3,
+              stride: int = 1, n: int = 1, bits: int = 8) -> ConvLayer:
+    """Depthwise convolution helper (groups == channels)."""
+    return ConvLayer(name=name, n=n, k=channels, c=channels, y=y, x=x, r=r, s=s,
+                     stride=stride, groups=channels, bits=bits)
+
+
+def linear_as_conv(name: str, out_features: int, in_features: int,
+                   n: int = 1, bits: int = 8) -> ConvLayer:
+    """A fully-connected layer expressed as a 1x1 conv on a 1x1 map."""
+    return ConvLayer(name=name, n=n, k=out_features, c=in_features,
+                     y=1, x=1, r=1, s=1, bits=bits)

@@ -1,0 +1,103 @@
+"""Networks: named, ordered collections of conv layers.
+
+A :class:`Network` is what NAAS benchmarks an accelerator on. Because the
+mapping search runs per *unique layer shape*, the class exposes shape
+de-duplication with multiplicities, which is the main cost-model speedup
+for deep nets (ResNet-50 has ~54 conv layers but far fewer unique shapes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import InvalidLayerError
+from repro.tensors.layer import ConvLayer
+
+#: A shape key ignores the layer's name: two layers with equal keys are
+#: interchangeable for mapping search and cost evaluation.
+ShapeKey = Tuple[int, int, int, int, int, int, int, int, int, int]
+
+
+def shape_key(layer: ConvLayer) -> ShapeKey:
+    """Key identifying a layer's workload shape (name-insensitive)."""
+    return (layer.n, layer.k, layer.c, layer.y, layer.x, layer.r, layer.s,
+            layer.stride, layer.groups, layer.bits)
+
+
+@dataclasses.dataclass(frozen=True)
+class Network:
+    """An ordered sequence of conv layers with a name.
+
+    The class is immutable; transformations return new networks.
+    """
+
+    name: str
+    layers: Tuple[ConvLayer, ...]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise InvalidLayerError(f"network {self.name!r} has no layers")
+        object.__setattr__(self, "layers", tuple(self.layers))
+
+    def __iter__(self) -> Iterator[ConvLayer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_weight_elements(self) -> int:
+        return sum(layer.weight_elements for layer in self.layers)
+
+    def unique_shapes(self) -> List[Tuple[ConvLayer, int]]:
+        """Distinct layer shapes with multiplicities, in first-seen order."""
+        counts: Dict[ShapeKey, int] = {}
+        representative: Dict[ShapeKey, ConvLayer] = {}
+        order: List[ShapeKey] = []
+        for layer in self.layers:
+            key = shape_key(layer)
+            if key not in counts:
+                counts[key] = 0
+                representative[key] = layer
+                order.append(key)
+            counts[key] += 1
+        return [(representative[key], counts[key]) for key in order]
+
+    def scaled(self, width_multiplier: float) -> "Network":
+        """Width-scaled copy of the whole network (NAS substrate)."""
+        return Network(
+            name=f"{self.name}-w{width_multiplier:g}",
+            layers=tuple(layer.scaled(width_multiplier) for layer in self.layers))
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary used by examples."""
+        lines = [f"Network {self.name}: {len(self.layers)} layers, "
+                 f"{self.total_macs / 1e6:.1f} MMACs"]
+        for layer, count in self.unique_shapes():
+            tag = "dw " if layer.is_depthwise else ""
+            lines.append(
+                f"  {count:2d}x {tag}{layer.name}: K={layer.k} C={layer.c} "
+                f"Y={layer.y} X={layer.x} R={layer.r} S={layer.s} "
+                f"stride={layer.stride}")
+        return "\n".join(lines)
+
+
+def unique_layers(networks: Sequence[Network]) -> List[Tuple[ConvLayer, int]]:
+    """Unique layer shapes with multiplicities across several networks."""
+    counts: Dict[ShapeKey, int] = {}
+    representative: Dict[ShapeKey, ConvLayer] = {}
+    order: List[ShapeKey] = []
+    for network in networks:
+        for layer in network:
+            key = shape_key(layer)
+            if key not in counts:
+                counts[key] = 0
+                representative[key] = layer
+                order.append(key)
+            counts[key] += 1
+    return [(representative[key], counts[key]) for key in order]

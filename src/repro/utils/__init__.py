@@ -1,0 +1,24 @@
+"""Shared utilities: math helpers, RNG plumbing, logging, tables, serialization."""
+
+from repro.utils.mathutils import (
+    ceil_div,
+    clamp,
+    divisors,
+    geomean,
+    nearest_multiple,
+    prod,
+    round_to_stride,
+)
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+__all__ = [
+    "ceil_div",
+    "clamp",
+    "divisors",
+    "ensure_rng",
+    "geomean",
+    "nearest_multiple",
+    "prod",
+    "round_to_stride",
+    "spawn_rngs",
+]

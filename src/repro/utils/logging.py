@@ -1,0 +1,34 @@
+"""Logging helpers: a package-wide logger with quiet defaults.
+
+Search loops log per-iteration progress at DEBUG and milestones at INFO;
+library code never configures the root logger (that is the application's
+job), it only attaches a ``NullHandler`` so imports stay silent.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_PACKAGE_LOGGER_NAME = "repro"
+
+logging.getLogger(_PACKAGE_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a child logger under the ``repro`` namespace."""
+    if name.startswith(_PACKAGE_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_PACKAGE_LOGGER_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a simple console handler; used by examples and experiments."""
+    logger = logging.getLogger(_PACKAGE_LOGGER_NAME)
+    if any(isinstance(h, logging.StreamHandler) and not isinstance(h, logging.NullHandler)
+           for h in logger.handlers):
+        logger.setLevel(level)
+        return
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s"))
+    logger.addHandler(handler)
+    logger.setLevel(level)

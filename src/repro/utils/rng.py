@@ -1,0 +1,39 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the package accepts either a seed or a
+``numpy.random.Generator``. Centralizing the coercion here keeps search
+runs reproducible and makes it easy to spawn independent child streams
+for nested search loops (accelerator / mapping / NAS).
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a fresh nondeterministic generator; an int seeds a new
+    PCG64 stream; an existing generator is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(rng: np.random.Generator, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Children are seeded from the parent stream, so a run is fully
+    determined by the top-level seed while nested loops do not share
+    state (mutating one loop's budget cannot perturb another's draws).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,51 @@
+"""JSON (de)serialization for search artifacts.
+
+Search results, accelerator configs and mappings are plain frozen
+dataclasses; this module converts them to/from JSON-friendly dicts so
+experiments can persist best-found designs and reload them for reporting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert dataclasses / numpy scalars / tuples to JSON types."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(v) for v in obj.tolist()]
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if isinstance(obj, Path):
+        return str(obj)
+    if hasattr(obj, "name") and hasattr(obj, "value"):  # Enum
+        return obj.name
+    raise TypeError(f"cannot serialize {type(obj).__name__}: {obj!r}")
+
+
+def dump_json(obj: Any, path: Union[str, Path]) -> None:
+    """Serialize ``obj`` (via :func:`to_jsonable`) to ``path`` with indent."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(to_jsonable(obj), f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def load_json(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a JSON document previously written by :func:`dump_json`."""
+    with open(path) as f:
+        return json.load(f)

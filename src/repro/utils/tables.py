@@ -1,0 +1,65 @@
+"""Plain-text table rendering for experiment output.
+
+Experiments print paper-style tables (rows of names and numbers) to the
+console and into ``EXPERIMENTS.md``. This module renders them without any
+third-party dependency, aligning columns and formatting numbers compactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(cell: Cell, precision: int = 3) -> str:
+    """Render one cell: floats compactly, None as '-'."""
+    if cell is None:
+        return "-"
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, int):
+        return str(cell)
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        magnitude = abs(cell)
+        if magnitude >= 1e6 or magnitude < 1e-3:
+            return f"{cell:.{precision}e}"
+        return f"{cell:.{precision}g}"
+    return str(cell)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                 precision: int = 3) -> str:
+    """Render an aligned ASCII table with a header separator line."""
+    str_rows: List[List[str]] = [[format_cell(c, precision) for c in row] for row in rows]
+    header_row = [str(h) for h in headers]
+    widths = [len(h) for h in header_row]
+    for row in str_rows:
+        if len(row) != len(header_row):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(header_row)}: {row}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(header_row)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(widths))).rstrip(),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip())
+    return "\n".join(lines)
+
+
+def render_markdown_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                          precision: int = 3) -> str:
+    """Render a GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+    str_rows = [[format_cell(c, precision) for c in row] for row in rows]
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}")
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,3 @@
+"""Package version, kept in one place so tooling and code agree."""
+
+__version__ = "1.0.0"

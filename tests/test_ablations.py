@@ -1,0 +1,33 @@
+"""Unit tests for the repository's design-choice ablations.
+
+The slow search-based ablations run in the benchmark suite; here we
+exercise the fast one end-to-end plus the registry contract.
+"""
+
+from repro.experiments.ablations import ABLATIONS, run_cost_param_ablation
+
+
+class TestRegistry:
+    def test_known_ablations(self):
+        assert set(ABLATIONS) == {"seeding", "budget", "cost_params"}
+
+    def test_all_callable(self):
+        assert all(callable(fn) for fn in ABLATIONS.values())
+
+
+class TestCostParamAblation:
+    def test_rankings_stable_under_dram_perturbation(self):
+        result = run_cost_param_ablation(seed=0)
+        assert result.all_claims_hold
+        assert result.details["concordance"] >= 0.8
+
+    def test_rows_cover_all_presets(self):
+        result = run_cost_param_ablation(seed=0)
+        presets = {row[0] for row in result.rows}
+        assert presets == {"eyeriss", "nvdla_256", "nvdla_1024",
+                           "edgetpu", "shidiannao"}
+
+    def test_perturbation_raises_every_edp(self):
+        result = run_cost_param_ablation(seed=0)
+        for _, nominal, perturbed in result.rows:
+            assert perturbed > nominal

@@ -1,0 +1,143 @@
+"""Tests for repro.accelerator: config, constraints, presets, validation."""
+
+import pytest
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.accelerator.constraints import ResourceConstraint
+from repro.accelerator.presets import (
+    BASELINE_PRESETS,
+    baseline_constraint,
+    baseline_preset,
+)
+from repro.accelerator.validation import is_valid, validate_architecture
+from repro.errors import InvalidArchitectureError, ReproError
+from repro.tensors.dims import Dim
+
+
+def _config(**overrides):
+    base = dict(array_dims=(8, 8), parallel_dims=(Dim.C, Dim.K),
+                l1_bytes=64, l2_bytes=32 * 1024, dram_bandwidth=16)
+    base.update(overrides)
+    return AcceleratorConfig(**base)
+
+
+class TestConfig:
+    def test_num_pes(self):
+        assert _config().num_pes == 64
+        assert _config(array_dims=(4, 6, 6),
+                       parallel_dims=(Dim.C, Dim.K, Dim.X)).num_pes == 144
+
+    def test_onchip_bytes(self):
+        config = _config()
+        assert config.onchip_bytes == 32 * 1024 + 64 * 64
+
+    def test_axis_of(self):
+        config = _config()
+        assert config.axis_of(Dim.C) == 0
+        assert config.axis_of(Dim.K) == 1
+        assert config.axis_of(Dim.Y) == -1
+
+    def test_spatial_size(self):
+        config = _config(array_dims=(8, 4))
+        assert config.spatial_size(Dim.C) == 8
+        assert config.spatial_size(Dim.Y) == 1
+
+    def test_rejects_mismatched_parallel_dims(self):
+        with pytest.raises(InvalidArchitectureError):
+            _config(parallel_dims=(Dim.C,))
+
+    def test_rejects_duplicate_parallel_dims(self):
+        with pytest.raises(InvalidArchitectureError):
+            _config(parallel_dims=(Dim.C, Dim.C))
+
+    def test_rejects_batch_parallel(self):
+        with pytest.raises(InvalidArchitectureError):
+            _config(parallel_dims=(Dim.N, Dim.K))
+
+    def test_rejects_4d_array(self):
+        with pytest.raises(InvalidArchitectureError):
+            _config(array_dims=(2, 2, 2, 2),
+                    parallel_dims=(Dim.C, Dim.K, Dim.Y, Dim.X))
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(InvalidArchitectureError):
+            _config(l1_bytes=0)
+        with pytest.raises(InvalidArchitectureError):
+            _config(dram_bandwidth=0)
+
+    def test_describe_mentions_dataflow(self):
+        assert "C-K" in _config().describe()
+
+    def test_hashable(self):
+        assert len({_config(), _config()}) == 1
+
+
+class TestConstraint:
+    def test_admits_itself(self):
+        config = _config()
+        assert ResourceConstraint.from_config(config).admits(config)
+
+    def test_rejects_more_pes(self):
+        constraint = ResourceConstraint.from_config(_config())
+        big = _config(array_dims=(16, 16))
+        assert not constraint.admits(big)
+        assert any("PEs" in v for v in constraint.violations(big))
+
+    def test_rejects_more_memory(self):
+        constraint = ResourceConstraint.from_config(_config())
+        fat = _config(l2_bytes=10 * 1024 * 1024)
+        assert not constraint.admits(fat)
+
+    def test_rejects_more_bandwidth(self):
+        constraint = ResourceConstraint.from_config(_config())
+        fast = _config(dram_bandwidth=1000)
+        assert not constraint.admits(fast)
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(InvalidArchitectureError):
+            ResourceConstraint(max_pes=0, max_onchip_bytes=1,
+                               max_dram_bandwidth=1)
+
+
+class TestPresets:
+    @pytest.mark.parametrize("name", sorted(BASELINE_PRESETS))
+    def test_presets_structurally_valid(self, name):
+        preset = baseline_preset(name)
+        assert not validate_architecture(preset)
+        assert preset.name == name
+
+    def test_eyeriss_is_published_size(self):
+        eyeriss = baseline_preset("eyeriss")
+        assert eyeriss.num_pes == 168
+        assert eyeriss.l2_bytes == 108 * 1024
+
+    def test_nvdla_sizes(self):
+        assert baseline_preset("nvdla_256").num_pes == 256
+        assert baseline_preset("nvdla_1024").num_pes == 1024
+
+    def test_constraint_matches_preset(self):
+        constraint = baseline_constraint("eyeriss")
+        assert constraint.max_pes == 168
+        assert constraint.admits(baseline_preset("eyeriss"))
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ReproError):
+            baseline_preset("tpu_v5")
+
+
+class TestValidation:
+    def test_minimum_l1(self):
+        bad = _config(l1_bytes=2)
+        assert not is_valid(bad)
+        assert any("L1" in p for p in validate_architecture(bad))
+
+    def test_degenerate_array(self):
+        bad = _config(array_dims=(1, 1))
+        assert not is_valid(bad)
+
+    def test_constraint_integrated(self):
+        config = _config()
+        tight = ResourceConstraint(max_pes=4, max_onchip_bytes=10**9,
+                                   max_dram_bandwidth=10**3)
+        assert not is_valid(config, tight)
+        assert is_valid(config)

@@ -1,0 +1,134 @@
+"""Tests for the comparison baselines (sizing-only, NASAIC, NHAS, costs)."""
+
+import math
+
+import pytest
+
+from repro.accelerator.constraints import ResourceConstraint
+from repro.accelerator.presets import baseline_constraint, baseline_preset
+from repro.baselines.nasaic import (
+    HeterogeneousDesign,
+    _make_ip,
+    search_nasaic,
+)
+from repro.baselines.nhas import search_nhas
+from repro.baselines.search_cost import (
+    naas_cost,
+    nasaic_cost,
+    nhas_cost,
+    search_cost_table,
+)
+from repro.baselines.sizing_only import SizingOnlyEncoder, search_sizing_only
+from repro.errors import EncodingError
+from repro.models import build_model
+from repro.tensors.network import Network
+from repro.utils.rng import ensure_rng
+
+
+class TestSizingOnlyEncoder:
+    def test_preserves_connectivity(self, small_constraint, small_accel):
+        encoder = SizingOnlyEncoder(small_accel, small_constraint)
+        rng = ensure_rng(0)
+        for _ in range(30):
+            config = encoder.decode(rng.random(encoder.num_params))
+            assert config.parallel_dims == small_accel.parallel_dims
+            assert config.num_array_dims == small_accel.num_array_dims
+            assert small_constraint.admits(config)
+
+    def test_wrong_shape_raises(self, small_constraint, small_accel):
+        encoder = SizingOnlyEncoder(small_accel, small_constraint)
+        with pytest.raises(EncodingError):
+            encoder.decode([0.5])
+
+    def test_aspect_preserved_roughly(self):
+        eyeriss = baseline_preset("eyeriss")
+        constraint = baseline_constraint("eyeriss")
+        encoder = SizingOnlyEncoder(eyeriss, constraint)
+        config = encoder.decode([1.0, 0.5, 0.5, 0.5])
+        rows, cols = config.array_dims
+        ref_aspect = eyeriss.array_dims[0] / eyeriss.array_dims[1]
+        assert rows / cols == pytest.approx(ref_aspect, rel=0.5)
+
+
+class TestSizingOnlySearch:
+    def test_finds_valid_design(self, cost_model, small_layer):
+        network = Network(name="n", layers=(small_layer,))
+        reference = baseline_preset("nvdla_256")
+        constraint = baseline_constraint("nvdla_256")
+        result = search_sizing_only([network], constraint, reference,
+                                    cost_model, population=6, iterations=3,
+                                    seed=0)
+        assert result.found
+        assert constraint.admits(result.best_config)
+        assert result.best_config.parallel_dims == reference.parallel_dims
+
+
+class TestNASAIC:
+    def test_make_ip_styles(self):
+        dla = _make_ip("dla", 256, 64 * 1024, 16, "d")
+        shi = _make_ip("shidiannao", 256, 64 * 1024, 16, "s")
+        assert dla.parallel_dims != shi.parallel_dims
+        assert dla.num_pes <= 256
+
+    def test_dispatch_prefers_better_ip(self, cost_model):
+        network = build_model("nasaic_cifar_net")
+        design = HeterogeneousDesign(
+            dla=_make_ip("dla", 512, 256 * 1024, 32, "dla"),
+            shi=_make_ip("shidiannao", 512, 256 * 1024, 32, "shi"))
+        cycles, energy, edp, dispatch = design.evaluate(network, cost_model)
+        assert math.isfinite(edp)
+        assert set(dispatch.values()) <= {"dla", "shi"}
+
+    def test_search_explores_grid(self, cost_model):
+        network = build_model("nasaic_cifar_net")
+        constraint = ResourceConstraint(max_pes=1024,
+                                        max_onchip_bytes=512 * 1024,
+                                        max_dram_bandwidth=32,
+                                        name="t3")
+        result = search_nasaic(network, constraint, cost_model,
+                               fractions=(0.25, 0.5, 0.75))
+        assert result.found
+        assert result.candidates_evaluated > 1
+        assert result.design.num_pes <= constraint.max_pes
+
+
+class TestNHAS:
+    def test_finds_pair(self, cost_model):
+        constraint = baseline_constraint("nvdla_256")
+        reference = baseline_preset("nvdla_256")
+        result = search_nhas(constraint, reference, cost_model,
+                             accuracy_floor=73.0,
+                             network_population=3, network_iterations=2,
+                             sizing_population=4, sizing_iterations=2,
+                             seed=0)
+        assert result.found
+        assert result.best_accuracy >= 73.0
+        assert result.best_config.parallel_dims == reference.parallel_dims
+
+
+class TestSearchCost:
+    def test_paper_formulas(self):
+        nasaic = nasaic_cost(1)
+        assert nasaic.co_search_gds == 6000
+        assert nasaic.training_gds == 16
+        nhas = nhas_cost(2)
+        assert nhas.co_search_gds == 12 + 8
+        ours = naas_cost(4)
+        assert ours.co_search_gds == 1.0
+        assert ours.training_gds == 50
+
+    def test_headline_ratio(self):
+        """The paper's claim: >120x cheaper than NASAIC."""
+        ratio = nasaic_cost(1).total_gds / naas_cost(1).total_gds
+        assert ratio > 119
+
+    def test_aws_and_co2(self):
+        report = naas_cost(1)
+        assert report.aws_dollars == pytest.approx(report.total_gds * 75)
+        assert report.co2_lbs == pytest.approx(report.total_gds * 7.5)
+
+    def test_table_includes_measured_row(self):
+        rows = search_cost_table(2, measured_seconds_per_scenario=60.0)
+        assert len(rows) == 4
+        assert "measured" in rows[-1].approach
+        assert rows[-1].co_search_gds == pytest.approx(120 / 86400)

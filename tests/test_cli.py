@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "alexnet", "eyeriss"])
+
+    def test_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "vgg16", "tpu9"])
+
+
+class TestCommands:
+    def test_models_lists_zoo(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "vgg16" in out and "GMACs" in out
+
+    def test_presets_lists_baselines(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        assert "eyeriss" in out and "dataflow" in out
+
+    def test_evaluate(self, capsys):
+        assert main(["evaluate", "squeezenet", "nvdla_256"]) == 0
+        out = capsys.readouterr().out
+        assert "EDP" in out and "utilization" in out
+
+    def test_evaluate_per_layer(self, capsys):
+        assert main(["evaluate", "squeezenet", "nvdla_256",
+                     "--per-layer"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck" in out
+
+    def test_search_writes_output(self, capsys, tmp_path):
+        out_file = tmp_path / "design.json"
+        code = main(["search", "squeezenet", "shidiannao",
+                     "--seed", "0", "--output", str(out_file)])
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        assert "config" in payload and "edp" in payload
+        assert payload["config"]["array_dims"]
+        out = capsys.readouterr().out
+        assert "EDP reduction" in out

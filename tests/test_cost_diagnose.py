@@ -1,0 +1,82 @@
+"""Tests for the bottleneck-diagnosis helpers."""
+
+import math
+
+import pytest
+
+from repro.accelerator.presets import baseline_preset
+from repro.cost.diagnose import (
+    bottleneck_histogram,
+    diagnose_network,
+    hotspots,
+    render_diagnosis,
+    sparkline,
+)
+from repro.cost.model import CostModel
+from repro.mapping.builders import dataflow_preserving_mapping
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def diagnosis():
+    cost_model = CostModel()
+    accel = baseline_preset("nvdla_256")
+    network = build_model("squeezenet")
+    return diagnose_network(
+        network, accel, lambda l: dataflow_preserving_mapping(l, accel),
+        cost_model)
+
+
+class TestDiagnoseNetwork:
+    def test_shares_sum_to_one(self, diagnosis):
+        _, rows = diagnosis
+        assert sum(r.cycle_share for r in rows) == pytest.approx(1.0)
+        assert sum(r.energy_share for r in rows) == pytest.approx(1.0)
+
+    def test_row_per_layer(self, diagnosis):
+        cost, rows = diagnosis
+        assert len(rows) == len(cost.layer_costs)
+
+    def test_bottlenecks_are_known_resources(self, diagnosis):
+        _, rows = diagnosis
+        assert {r.bottleneck for r in rows} <= {"compute", "dram", "l2"}
+
+    def test_energy_terms_are_known(self, diagnosis):
+        _, rows = diagnosis
+        assert {r.dominant_energy_term for r in rows} <= {
+            "mac", "l1", "l2", "dram", "noc", "static"}
+
+
+class TestHotspots:
+    def test_sorted_descending(self, diagnosis):
+        _, rows = diagnosis
+        top = hotspots(rows, top=5)
+        shares = [r.cycle_share for r in top]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_histogram_counts_all(self, diagnosis):
+        _, rows = diagnosis
+        histogram = bottleneck_histogram(rows)
+        assert sum(histogram.values()) == len(rows)
+
+    def test_render_contains_top_layer(self, diagnosis):
+        _, rows = diagnosis
+        text = render_diagnosis(rows, top=3)
+        assert hotspots(rows, 1)[0].layer_name in text
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_shape(self):
+        line = sparkline([float(i) for i in range(10)])
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_handles_inf(self):
+        line = sparkline([1.0, math.inf, 2.0])
+        assert "!" in line
+
+    def test_width_respected(self):
+        line = sparkline(list(range(1000)), width=40)
+        assert len(line) <= 41

@@ -1,0 +1,163 @@
+"""Tests for the cost-model facade and its physical sanity."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.cost.config import CostParams
+from repro.cost.model import CostModel, theoretical_peak_cycles
+from repro.mapping.builders import dataflow_preserving_mapping, untiled_mapping
+from repro.models import build_model
+from repro.tensors.dims import Dim
+from repro.tensors.layer import ConvLayer
+from repro.tensors.network import Network
+
+
+class TestEvaluate:
+    def test_valid_layer(self, cost_model, small_layer, small_accel,
+                         heuristic_mapping):
+        cost = cost_model.evaluate(small_layer, small_accel, heuristic_mapping)
+        assert cost.valid
+        assert cost.cycles > 0
+        assert cost.energy_nj > 0
+        assert 0 < cost.utilization <= 1
+        assert math.isfinite(cost.edp)
+
+    def test_cycles_at_least_peak(self, cost_model, small_layer, small_accel,
+                                  heuristic_mapping):
+        cost = cost_model.evaluate(small_layer, small_accel, heuristic_mapping)
+        assert cost.cycles >= theoretical_peak_cycles([small_layer],
+                                                      small_accel)
+
+    def test_untiled_overflows_small_l2(self, cost_model, small_accel):
+        layer = ConvLayer(name="big", k=256, c=256, y=56, x=56, r=3, s=3)
+        cost = cost_model.evaluate(layer, small_accel, untiled_mapping(layer))
+        assert not cost.valid
+        assert cost.edp == math.inf
+        assert any("L2" in r for r in cost.reasons)
+
+    def test_tiny_l1_invalid(self, cost_model, small_layer, small_accel,
+                             heuristic_mapping):
+        tiny = dataclasses.replace(small_accel, l1_bytes=1)
+        cost = cost_model.evaluate(small_layer, tiny, heuristic_mapping)
+        assert not cost.valid
+
+    def test_illegal_mapping_rejected(self, cost_model, small_layer,
+                                      pointwise_layer, small_accel):
+        mapping = untiled_mapping(small_layer)  # tiles too big for pw layer
+        cost = cost_model.evaluate(pointwise_layer, small_accel, mapping)
+        assert not cost.valid
+
+    def test_deterministic(self, cost_model, small_layer, small_accel,
+                           heuristic_mapping):
+        a = cost_model.evaluate(small_layer, small_accel, heuristic_mapping)
+        b = cost_model.evaluate(small_layer, small_accel, heuristic_mapping)
+        assert a.cycles == b.cycles
+        assert a.energy_nj == b.energy_nj
+
+
+class TestPhysicalSanity:
+    def test_dram_traffic_at_least_cold_misses(self, cost_model, small_layer,
+                                               small_accel, heuristic_mapping):
+        cost = cost_model.evaluate(small_layer, small_accel, heuristic_mapping)
+        cold = (small_layer.weight_elements + small_layer.input_elements
+                + small_layer.output_elements) * small_layer.bytes_per_element
+        assert cost.traffic.total_dram_bytes >= cold
+
+    def test_more_bandwidth_not_slower(self, cost_model, small_layer,
+                                       small_accel, heuristic_mapping):
+        fast = dataclasses.replace(small_accel, dram_bandwidth=256)
+        slow_cost = cost_model.evaluate(small_layer, small_accel,
+                                        heuristic_mapping)
+        fast_cost = cost_model.evaluate(small_layer, fast, heuristic_mapping)
+        assert fast_cost.cycles <= slow_cost.cycles
+
+    def test_depthwise_underutilizes_ck_array(self, cost_model,
+                                              depthwise_layer, small_accel):
+        mapping = dataflow_preserving_mapping(depthwise_layer, small_accel)
+        cost = cost_model.evaluate(depthwise_layer, small_accel, mapping)
+        # C axis idles on depthwise (C=1): utilization capped by 1/8.
+        assert cost.valid
+        assert cost.utilization <= 1 / 8 + 1e-9
+
+    def test_yx_array_fine_for_depthwise(self, cost_model, depthwise_layer):
+        yx = AcceleratorConfig(array_dims=(8, 8),
+                               parallel_dims=(Dim.Y, Dim.X),
+                               l1_bytes=64, l2_bytes=64 * 1024,
+                               dram_bandwidth=16, name="yx")
+        mapping = dataflow_preserving_mapping(depthwise_layer, yx)
+        cost = cost_model.evaluate(depthwise_layer, yx, mapping)
+        assert cost.utilization > 1 / 8
+
+    def test_energy_scales_with_bits(self, cost_model, small_accel):
+        lo = ConvLayer(name="l8", k=32, c=16, y=14, x=14, r=3, s=3, bits=8)
+        hi = ConvLayer(name="l16", k=32, c=16, y=14, x=14, r=3, s=3, bits=16)
+        mapping_lo = dataflow_preserving_mapping(lo, small_accel)
+        mapping_hi = dataflow_preserving_mapping(hi, small_accel)
+        e_lo = cost_model.evaluate(lo, small_accel, mapping_lo).energy_nj
+        e_hi = cost_model.evaluate(hi, small_accel, mapping_hi).energy_nj
+        assert e_hi > e_lo
+
+    def test_energy_breakdown_sums_to_one(self, cost_model, small_layer,
+                                          small_accel, heuristic_mapping):
+        cost = cost_model.evaluate(small_layer, small_accel, heuristic_mapping)
+        assert sum(cost.energy.breakdown().values()) == pytest.approx(1.0)
+
+
+class TestNetworkEvaluation:
+    def test_network_aggregates(self, cost_model, small_accel, small_layer,
+                                pointwise_layer):
+        net = Network(name="two", layers=(small_layer, pointwise_layer))
+        cost = cost_model.evaluate_network(
+            net, small_accel,
+            lambda l: dataflow_preserving_mapping(l, small_accel))
+        assert cost.valid
+        assert len(cost.layer_costs) == 2
+        assert cost.total_cycles == sum(c.cycles for c in cost.layer_costs)
+        assert cost.edp == cost.total_cycles * cost.total_energy_nj
+
+    def test_duplicate_layers_share_cost(self, cost_model, small_accel,
+                                         small_layer):
+        twin = dataclasses.replace(small_layer, name="twin")
+        net = Network(name="dup", layers=(small_layer, twin))
+        cost = cost_model.evaluate_network(
+            net, small_accel,
+            lambda l: dataflow_preserving_mapping(l, small_accel))
+        assert cost.layer_costs[0].cycles == cost.layer_costs[1].cycles
+
+    def test_explicit_mapping_table(self, cost_model, small_accel,
+                                    small_layer):
+        net = Network(name="one", layers=(small_layer,))
+        mapping = dataflow_preserving_mapping(small_layer, small_accel)
+        cost = cost_model.evaluate_with_mappings(
+            net, small_accel, {small_layer.name: mapping})
+        assert cost.valid
+
+    def test_whole_zoo_on_nvdla(self, cost_model):
+        accel_mapping = None
+        from repro.accelerator.presets import baseline_preset
+        accel = baseline_preset("nvdla_1024")
+        for name in ("vgg16", "resnet50", "mobilenet_v2"):
+            net = build_model(name)
+            cost = cost_model.evaluate_network(
+                net, accel, lambda l: dataflow_preserving_mapping(l, accel))
+            assert cost.valid, f"{name}: {[c.reasons for c in cost.layer_costs if not c.valid][:2]}"
+        del accel_mapping
+
+
+class TestCostParams:
+    def test_l2_energy_grows_with_size(self):
+        params = CostParams()
+        assert params.l2_pj(1024 * 1024) > params.l2_pj(64 * 1024)
+
+    def test_mac_energy_quadratic_in_bits(self):
+        params = CostParams()
+        assert params.mac_pj(16) == pytest.approx(4 * params.mac_pj(8))
+
+    def test_static_power_grows_with_resources(self):
+        params = CostParams()
+        small = params.static_pj_per_cycle(64, 64 * 1024)
+        big = params.static_pj_per_cycle(4096, 8 * 1024 * 1024)
+        assert big > small

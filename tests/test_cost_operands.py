@@ -1,0 +1,122 @@
+"""Tests for repro.cost.operands: relevance and footprint geometry."""
+
+import pytest
+
+from repro.cost.operands import (
+    Operand,
+    element_bytes,
+    footprint_elements,
+    footprint_elements_idx,
+    input_channels_covered,
+    relevance_masks,
+    relevant_dims,
+    tile_set_bytes,
+    total_elements,
+)
+from repro.tensors.dims import DIM_INDEX, Dim
+
+
+class TestRelevance:
+    def test_weight_dims(self, small_layer):
+        assert relevant_dims(small_layer, Operand.WEIGHT) == \
+            frozenset({Dim.K, Dim.C, Dim.R, Dim.S})
+
+    def test_output_dims(self, small_layer):
+        assert relevant_dims(small_layer, Operand.OUTPUT) == \
+            frozenset({Dim.N, Dim.K, Dim.Y, Dim.X})
+
+    def test_input_not_k_relevant_for_dense(self, small_layer):
+        assert Dim.K not in relevant_dims(small_layer, Operand.INPUT)
+
+    def test_input_k_relevant_for_depthwise(self, depthwise_layer):
+        assert Dim.K in relevant_dims(depthwise_layer, Operand.INPUT)
+
+    def test_masks_match_sets(self, small_layer, depthwise_layer):
+        for layer in (small_layer, depthwise_layer):
+            masks = relevance_masks(layer)
+            for op in Operand:
+                dims = relevant_dims(layer, op)
+                for dim, idx in DIM_INDEX.items():
+                    assert masks[op][idx] == (dim in dims)
+
+
+class TestFootprints:
+    def test_weight_full(self, small_layer):
+        full = {d: small_layer.dim_size(d) for d in Dim}
+        assert footprint_elements(small_layer, Operand.WEIGHT, full) == \
+            small_layer.weight_elements
+
+    def test_input_full_includes_halo(self, small_layer):
+        full = {d: small_layer.dim_size(d) for d in Dim}
+        assert footprint_elements(small_layer, Operand.INPUT, full) == \
+            small_layer.input_elements
+
+    def test_output_full(self, small_layer):
+        full = {d: small_layer.dim_size(d) for d in Dim}
+        assert footprint_elements(small_layer, Operand.OUTPUT, full) == \
+            small_layer.output_elements
+
+    def test_single_element(self, small_layer):
+        one = {d: 1 for d in Dim}
+        for op in Operand:
+            assert footprint_elements(small_layer, op, one) == 1
+
+    def test_input_halo_growth(self, small_layer):
+        base = {d: 1 for d in Dim}
+        grown = dict(base)
+        grown[Dim.Y] = 4
+        grown[Dim.R] = 3
+        # 4 output rows with a 3-tall kernel window touch 6 input rows
+        assert footprint_elements(small_layer, Operand.INPUT, grown) == 6
+        # with a single kernel row, only 4 input rows are touched
+        assert footprint_elements(
+            small_layer, Operand.INPUT, {**base, Dim.Y: 4}) == 4
+
+    def test_extents_clamped(self, small_layer):
+        huge = {d: 10**6 for d in Dim}
+        assert footprint_elements(small_layer, Operand.WEIGHT, huge) == \
+            small_layer.weight_elements
+
+    def test_idx_form_matches_dict_form(self, small_layer):
+        extents = {Dim.K: 4, Dim.C: 3, Dim.Y: 2, Dim.X: 5, Dim.R: 3, Dim.S: 1}
+        ext7 = [1] * 7
+        for dim, value in extents.items():
+            ext7[DIM_INDEX[dim]] = value
+        for op in Operand:
+            assert footprint_elements(small_layer, op, extents) == \
+                footprint_elements_idx(small_layer, op, ext7)
+
+
+class TestGroupedChannels:
+    def test_dense(self, small_layer):
+        assert input_channels_covered(small_layer, 32, 5) == 5
+
+    def test_depthwise_follows_k(self, depthwise_layer):
+        assert input_channels_covered(depthwise_layer, 4, 1) == 4
+
+    def test_capped_at_total(self, depthwise_layer):
+        assert input_channels_covered(depthwise_layer, 1000, 1) == \
+            depthwise_layer.c
+
+
+class TestBytes:
+    def test_psum_width_for_outputs(self, small_layer):
+        assert element_bytes(small_layer, Operand.OUTPUT, 4) == 4.0
+        assert element_bytes(small_layer, Operand.WEIGHT, 4) == 1.0
+
+    def test_tile_set_bytes_sums_all(self, small_layer):
+        tiles = {d: 2 for d in Dim if d is not Dim.N}
+        total = tile_set_bytes(small_layer, tiles, 4)
+        parts = sum(
+            footprint_elements(small_layer, op, tiles)
+            * element_bytes(small_layer, op, 4)
+            for op in Operand)
+        assert total == parts
+
+    def test_total_elements(self, small_layer):
+        assert total_elements(small_layer, Operand.WEIGHT) == \
+            small_layer.weight_elements
+        assert total_elements(small_layer, Operand.INPUT) == \
+            small_layer.input_elements
+        assert total_elements(small_layer, Operand.OUTPUT) == \
+            small_layer.output_elements

@@ -1,0 +1,56 @@
+"""Tests for the cost report records."""
+
+import math
+
+import pytest
+
+from repro.cost.report import LayerCost, NetworkCost
+
+
+def _layer(name="l", cycles=100.0, energy=10.0, macs=1000, util=0.5):
+    return LayerCost(layer_name=name, valid=True, cycles=cycles,
+                     energy_nj=energy, utilization=util, macs=macs)
+
+
+class TestLayerCost:
+    def test_edp_product(self):
+        assert _layer(cycles=100, energy=10).edp == pytest.approx(1000)
+
+    def test_invalid_has_inf_edp(self):
+        cost = LayerCost.invalid("bad", ("reason",))
+        assert cost.edp == math.inf
+        assert not cost.valid
+        assert cost.reasons == ("reason",)
+
+
+class TestNetworkCost:
+    def test_totals(self):
+        net = NetworkCost(network_name="n",
+                          layer_costs=(_layer(cycles=100, energy=10),
+                                       _layer(cycles=50, energy=5)))
+        assert net.total_cycles == 150
+        assert net.total_energy_nj == 15
+        assert net.edp == pytest.approx(150 * 15)
+
+    def test_any_invalid_poisons_network(self):
+        net = NetworkCost(network_name="n",
+                          layer_costs=(_layer(),
+                                       LayerCost.invalid("bad", ())))
+        assert not net.valid
+        assert net.edp == math.inf
+        assert net.total_cycles == math.inf
+
+    def test_mac_weighted_utilization(self):
+        net = NetworkCost(network_name="n", layer_costs=(
+            _layer(macs=900, util=1.0), _layer(macs=100, util=0.0)))
+        assert net.mean_utilization == pytest.approx(0.9)
+
+    def test_zero_macs_utilization(self):
+        net = NetworkCost(network_name="n",
+                          layer_costs=(_layer(macs=0),))
+        assert net.mean_utilization == 0.0
+
+    def test_summary_keys(self):
+        net = NetworkCost(network_name="n", layer_costs=(_layer(),))
+        assert set(net.summary()) == {"cycles", "energy_nj", "edp",
+                                      "utilization"}

@@ -1,0 +1,96 @@
+"""Tests for the hardware encoder (vector <-> AcceleratorConfig)."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.presets import BASELINE_PRESETS, baseline_constraint
+from repro.encoding.hardware import HardwareEncoder
+from repro.encoding.spaces import EncodingStyle
+from repro.errors import EncodingError
+from repro.utils.rng import ensure_rng
+
+
+@pytest.fixture
+def encoder(small_constraint):
+    return HardwareEncoder(small_constraint)
+
+
+class TestDecode:
+    def test_num_params(self, encoder, small_constraint):
+        assert encoder.num_params == 13
+        index_encoder = HardwareEncoder(small_constraint,
+                                        style=EncodingStyle.INDEX)
+        assert index_encoder.num_params == 8
+
+    def test_decoded_respects_constraint(self, encoder, small_constraint):
+        rng = ensure_rng(0)
+        for _ in range(50):
+            _, config = encoder.sample(rng)
+            assert small_constraint.admits(config)
+
+    def test_wrong_shape_raises(self, encoder):
+        with pytest.raises(EncodingError):
+            encoder.decode(np.zeros(5))
+
+    def test_deterministic(self, encoder):
+        vector = ensure_rng(1).random(encoder.num_params)
+        assert encoder.decode(vector) == encoder.decode(vector)
+
+    def test_ndims_knob(self, encoder):
+        vector = np.full(encoder.num_params, 0.5)
+        vector[0] = 0.0
+        assert encoder.decode(vector).num_array_dims == 1
+        vector[0] = 0.99
+        assert encoder.decode(vector).num_array_dims == 3
+
+    def test_axis_sizes_even(self, encoder):
+        rng = ensure_rng(2)
+        for _ in range(20):
+            _, config = encoder.sample(rng)
+            assert all(size % 2 == 0 for size in config.array_dims)
+
+    def test_index_style_samples_valid(self, small_constraint):
+        encoder = HardwareEncoder(small_constraint, style=EncodingStyle.INDEX)
+        rng = ensure_rng(3)
+        for _ in range(20):
+            _, config = encoder.sample(rng)
+            assert small_constraint.admits(config)
+
+
+class TestEncodeInverse:
+    @pytest.mark.parametrize("preset_name", sorted(BASELINE_PRESETS))
+    def test_presets_round_trip(self, preset_name):
+        """encode(preset) must decode back to (nearly) the same design."""
+        from repro.accelerator.presets import baseline_preset
+        preset = baseline_preset(preset_name)
+        encoder = HardwareEncoder(baseline_constraint(preset_name))
+        decoded = encoder.decode(encoder.encode(preset))
+        assert decoded.array_dims == preset.array_dims
+        assert decoded.parallel_dims == preset.parallel_dims
+        # buffers may snap to the 16B grid
+        assert abs(decoded.l2_bytes - preset.l2_bytes) <= 64
+        assert abs(decoded.l1_bytes - preset.l1_bytes) <= 16
+        assert abs(decoded.dram_bandwidth - preset.dram_bandwidth) <= 1
+
+    def test_index_style_round_trip(self):
+        from repro.accelerator.presets import baseline_preset
+        preset = baseline_preset("nvdla_256")
+        encoder = HardwareEncoder(baseline_constraint("nvdla_256"),
+                                  style=EncodingStyle.INDEX)
+        decoded = encoder.decode(encoder.encode(preset))
+        assert decoded.parallel_dims == preset.parallel_dims
+
+
+class TestSample:
+    def test_sample_exhaustion_raises(self, small_constraint):
+        encoder = HardwareEncoder(small_constraint)
+        rng = ensure_rng(0)
+        with pytest.raises(EncodingError):
+            encoder.sample(rng, max_attempts=0)
+
+    def test_tiny_budget_rejected_at_init(self):
+        from repro.accelerator.constraints import ResourceConstraint
+        tiny = ResourceConstraint(max_pes=1, max_onchip_bytes=10**6,
+                                  max_dram_bandwidth=8, name="tiny")
+        with pytest.raises(EncodingError):
+            HardwareEncoder(tiny)

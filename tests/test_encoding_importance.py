@@ -1,0 +1,62 @@
+"""Tests for importance-based decoding (the paper's Fig 3 semantics)."""
+
+import pytest
+
+from repro.encoding.importance import (
+    importance_for_order,
+    ranked_dims,
+    select_parallel_dims,
+)
+from repro.errors import EncodingError
+from repro.tensors.dims import SEARCHED_DIMS, Dim
+
+
+class TestRankedDims:
+    def test_descending_order(self):
+        ranked = ranked_dims([6, 5, 4, 3, 2, 1])
+        assert ranked == SEARCHED_DIMS
+
+    def test_reversed(self):
+        ranked = ranked_dims([1, 2, 3, 4, 5, 6])
+        assert ranked == tuple(reversed(SEARCHED_DIMS))
+
+    def test_fig3_left_example(self):
+        """Fig 3 (left): importances (4,6,2,2,3,1) for (K,C,Y,X,R,S) pick
+        C and K as the 2-D array's parallel dims."""
+        importance = [4, 6, 2, 2, 3, 1]
+        assert select_parallel_dims(importance, 2) == (Dim.C, Dim.K)
+
+    def test_ties_break_canonically(self):
+        ranked = ranked_dims([1, 1, 1, 1, 1, 1])
+        assert ranked == SEARCHED_DIMS
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(EncodingError):
+            ranked_dims([1, 2, 3])
+
+
+class TestSelectParallel:
+    def test_k_range(self):
+        with pytest.raises(EncodingError):
+            select_parallel_dims([1] * 6, 0)
+        with pytest.raises(EncodingError):
+            select_parallel_dims([1] * 6, 7)
+
+    def test_selects_top_k(self):
+        importance = [0.1, 0.9, 0.8, 0.2, 0.3, 0.4]
+        assert select_parallel_dims(importance, 3) == (Dim.C, Dim.Y, Dim.S)
+
+
+class TestInverse:
+    def test_round_trip(self):
+        order = (Dim.X, Dim.R, Dim.K, Dim.S, Dim.C, Dim.Y)
+        importance = importance_for_order(order)
+        assert ranked_dims(importance) == order
+
+    def test_partial_order_raises(self):
+        with pytest.raises(EncodingError):
+            importance_for_order((Dim.K, Dim.C))
+
+    def test_values_in_unit_interval(self):
+        importance = importance_for_order(SEARCHED_DIMS)
+        assert all(0 <= v <= 1 for v in importance)

@@ -1,0 +1,70 @@
+"""Tests for index-based (ablation) encoding utilities."""
+
+import pytest
+
+from repro.encoding.index import (
+    decode_order_scalar,
+    decode_parallel_scalar,
+    nth_permutation,
+    permutation_count,
+    scalar_to_index,
+)
+from repro.errors import EncodingError
+from repro.tensors.dims import SEARCHED_DIMS
+
+
+class TestPermutationCount:
+    def test_full_permutations(self):
+        assert permutation_count(6, 6) == 720
+
+    def test_partial(self):
+        assert permutation_count(6, 2) == 30
+
+    def test_zero(self):
+        assert permutation_count(6, 0) == 1
+
+    def test_invalid(self):
+        with pytest.raises(EncodingError):
+            permutation_count(3, 4)
+
+
+class TestNthPermutation:
+    def test_first_is_identity_prefix(self):
+        assert nth_permutation(SEARCHED_DIMS, 3, 0) == SEARCHED_DIMS[:3]
+
+    def test_all_distinct(self):
+        seen = {nth_permutation(SEARCHED_DIMS, 2, i) for i in range(30)}
+        assert len(seen) == 30
+
+    def test_last_index(self):
+        perm = nth_permutation(SEARCHED_DIMS, 6, 719)
+        assert perm == tuple(reversed(SEARCHED_DIMS))
+
+    def test_out_of_range(self):
+        with pytest.raises(EncodingError):
+            nth_permutation(SEARCHED_DIMS, 2, 30)
+
+
+class TestScalarDecoding:
+    def test_scalar_to_index_bounds(self):
+        assert scalar_to_index(0.0, 10) == 0
+        assert scalar_to_index(0.9999, 10) == 9
+        assert scalar_to_index(1.0, 10) == 9  # clamped
+
+    def test_order_scalar_is_permutation(self):
+        for value in (0.0, 0.25, 0.5, 0.75, 0.999):
+            order = decode_order_scalar(value)
+            assert sorted(d.name for d in order) == \
+                sorted(d.name for d in SEARCHED_DIMS)
+
+    def test_parallel_scalar_distinct_dims(self):
+        for value in (0.0, 0.3, 0.7, 0.999):
+            dims = decode_parallel_scalar(value, 3)
+            assert len(set(dims)) == 3
+
+    def test_nearby_scalars_can_jump(self):
+        """The index encoding's weakness: adjacent scalars decode to
+        unrelated orderings (motivates the importance encoding)."""
+        a = decode_order_scalar(0.50)
+        b = decode_order_scalar(0.51)
+        assert a != b

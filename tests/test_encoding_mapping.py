@@ -1,0 +1,76 @@
+"""Tests for the mapping encoder (vector <-> Mapping)."""
+
+import numpy as np
+import pytest
+
+from repro.cost.operands import tile_set_bytes
+from repro.encoding.mapping_enc import MappingEncoder
+from repro.encoding.spaces import EncodingStyle
+from repro.errors import EncodingError
+from repro.mapping.builders import dataflow_preserving_mapping
+from repro.utils.rng import ensure_rng
+
+
+@pytest.fixture
+def encoder(small_layer, small_accel):
+    return MappingEncoder(small_layer, small_accel)
+
+
+class TestDecode:
+    def test_num_params(self, encoder, small_layer, small_accel):
+        assert encoder.num_params == 18
+        index_enc = MappingEncoder(small_layer, small_accel,
+                                   style=EncodingStyle.INDEX)
+        assert index_enc.num_params == 8
+
+    def test_every_sample_is_legal(self, encoder, small_layer, small_accel):
+        rng = ensure_rng(0)
+        for _ in range(100):
+            mapping = encoder.decode(rng.random(encoder.num_params))
+            assert mapping.legal_for(small_layer)
+            assert tile_set_bytes(small_layer, mapping.tile_map, 4) \
+                <= small_accel.l2_bytes
+
+    def test_index_style_samples(self, small_layer, small_accel):
+        encoder = MappingEncoder(small_layer, small_accel,
+                                 style=EncodingStyle.INDEX)
+        rng = ensure_rng(1)
+        for _ in range(50):
+            mapping = encoder.decode(rng.random(encoder.num_params))
+            assert mapping.legal_for(small_layer)
+
+    def test_wrong_shape_raises(self, encoder):
+        with pytest.raises(EncodingError):
+            encoder.decode(np.zeros(3))
+
+    def test_deterministic(self, encoder):
+        vector = ensure_rng(2).random(encoder.num_params)
+        assert encoder.decode(vector) == encoder.decode(vector)
+
+    def test_parallel_dims_covered(self, encoder, small_layer, small_accel):
+        """Decoded tiles cover the array along parallel dims when the
+        layer is big enough (no guaranteed-idle PEs)."""
+        rng = ensure_rng(3)
+        for _ in range(30):
+            mapping = encoder.decode(rng.random(encoder.num_params))
+            for dim, axis in zip(small_accel.parallel_dims,
+                                 small_accel.array_dims):
+                limit = min(axis, small_layer.dim_size(dim))
+                assert mapping.tile(dim) >= min(limit, mapping.tile(dim))
+
+
+class TestEncodeInverse:
+    def test_heuristic_round_trip(self, encoder, small_layer, small_accel):
+        mapping = dataflow_preserving_mapping(small_layer, small_accel)
+        decoded = encoder.decode(encoder.encode_mapping(mapping))
+        assert decoded.array_order == mapping.array_order
+        assert decoded.pe_order == mapping.pe_order
+        for dim, size in mapping.tiles:
+            assert abs(decoded.tile(dim) - size) <= 1
+
+    def test_index_style_cannot_encode(self, small_layer, small_accel):
+        encoder = MappingEncoder(small_layer, small_accel,
+                                 style=EncodingStyle.INDEX)
+        mapping = dataflow_preserving_mapping(small_layer, small_accel)
+        with pytest.raises(EncodingError):
+            encoder.encode_mapping(mapping)

@@ -1,0 +1,49 @@
+"""Smoke checks for the example scripts.
+
+Examples are exercised manually / in CI shell steps (they run searches);
+here we guarantee they at least parse, follow the main() convention, and
+reference only real public API names.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+class TestExampleHygiene:
+    def test_parses(self, path):
+        ast.parse(path.read_text())
+
+    def test_has_main_guard(self, path):
+        source = path.read_text()
+        assert 'if __name__ == "__main__":' in source
+        assert "def main(" in source
+
+    def test_has_module_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+
+    def test_imports_resolve(self, path):
+        """Every ``from repro...`` import names something importable."""
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module \
+                    and node.module.startswith("repro"):
+                module = __import__(node.module, fromlist=[
+                    alias.name for alias in node.names])
+                for alias in node.names:
+                    assert hasattr(module, alias.name), (
+                        f"{path.name}: {node.module}.{alias.name} missing")
+
+
+def test_expected_example_set():
+    names = {p.name for p in EXAMPLE_FILES}
+    assert {"quickstart.py", "mapping_search_layer.py",
+            "joint_nas_search.py", "design_space_tour.py",
+            "reproduce_paper.py", "bottleneck_report.py",
+            "quantization_search.py", "pareto_frontier.py"} <= names

@@ -1,0 +1,104 @@
+"""Cheap unit tests for experiment helpers and paper-constant tables.
+
+The experiments themselves run in the benchmark suite; these tests
+cover their pure helpers without any searching.
+"""
+
+import pytest
+
+from repro.cost.report import LayerCost, NetworkCost
+from repro.experiments.common import baseline_costs, gain_rows
+from repro.experiments.fig5_multi_network import (
+    PAPER_GEOMEAN_ENERGY,
+    PAPER_GEOMEAN_SPEEDUP,
+    SCENARIOS,
+)
+from repro.experiments.fig6_per_network import (
+    ALL_NETWORKS,
+    ALL_SCENARIOS,
+    QUICK_PAIRS,
+    grid_for_profile,
+)
+from repro.experiments.fig8_sizing_ablation import (
+    CASES,
+    PAPER_NAAS,
+    PAPER_SIZING,
+)
+from repro.cost.model import CostModel
+from repro.models import build_model
+
+
+def _cost(name, cycles, energy):
+    layer = LayerCost(layer_name="l", valid=True, cycles=cycles,
+                      energy_nj=energy, utilization=0.5, macs=10)
+    return NetworkCost(network_name=name, layer_costs=(layer,))
+
+
+class TestGainRows:
+    def test_ratios(self):
+        baseline = {"a": _cost("a", 100, 10)}
+        searched = {"a": _cost("a", 50, 5)}
+        rows, geo_speed, geo_energy, geo_edp = gain_rows(baseline, searched)
+        assert rows == [("a", 2.0, 2.0, 4.0)]
+        assert geo_speed == pytest.approx(2.0)
+        assert geo_energy == pytest.approx(2.0)
+        assert geo_edp == pytest.approx(4.0)
+
+    def test_geomean_over_networks(self):
+        baseline = {"a": _cost("a", 100, 10), "b": _cost("b", 100, 10)}
+        searched = {"a": _cost("a", 25, 10), "b": _cost("b", 100, 10)}
+        _, geo_speed, _, _ = gain_rows(baseline, searched)
+        assert geo_speed == pytest.approx(2.0)
+
+
+class TestBaselineCosts:
+    def test_heuristic_baseline_is_deterministic(self):
+        cost_model = CostModel()
+        net = build_model("squeezenet")
+        a = baseline_costs("nvdla_256", [net], cost_model)
+        b = baseline_costs("nvdla_256", [net], cost_model)
+        assert a[net.name].edp == b[net.name].edp
+
+
+class TestPaperConstants:
+    def test_fig5_covers_all_scenarios(self):
+        scenario_names = {name for name, _ in SCENARIOS}
+        assert scenario_names == set(PAPER_GEOMEAN_SPEEDUP)
+        assert scenario_names == set(PAPER_GEOMEAN_ENERGY)
+
+    def test_fig5_narrative_values(self):
+        """§III-B: 2.6x/2.2x (large) and 4.4x/1.7x/4.4x (mobile)."""
+        assert PAPER_GEOMEAN_SPEEDUP["edgetpu"] == 2.6
+        assert PAPER_GEOMEAN_SPEEDUP["nvdla_1024"] == 2.2
+        assert PAPER_GEOMEAN_SPEEDUP["eyeriss"] == 4.4
+        assert PAPER_GEOMEAN_SPEEDUP["shidiannao"] == 4.4
+
+    def test_fig8_ratios_match_narrative(self):
+        """§III-B: NAAS over sizing-only = 3.52x, 1.42x, 2.61x, 1.62x."""
+        expected = {
+            ("vgg16", "edgetpu"): 3.52,
+            ("mobilenet_v2", "edgetpu"): 1.42,
+            ("vgg16", "nvdla_1024"): 2.61,
+            ("mobilenet_v2", "nvdla_1024"): 1.62,
+        }
+        for case, ratio in expected.items():
+            assert PAPER_NAAS[case] / PAPER_SIZING[case] == \
+                pytest.approx(ratio, rel=0.02)
+
+    def test_fig8_cases_have_constants(self):
+        assert set(CASES) == set(PAPER_NAAS) == set(PAPER_SIZING)
+
+
+class TestFig6Grid:
+    def test_quick_subset_is_subset_of_grid(self):
+        full = set(grid_for_profile("full"))
+        assert set(QUICK_PAIRS) <= full
+
+    def test_full_grid_is_complete(self):
+        full = grid_for_profile("full")
+        assert len(full) == len(ALL_SCENARIOS) * len(ALL_NETWORKS)
+        assert ("eyeriss", "unet") in full
+
+    def test_quick_touches_every_scenario(self):
+        scenarios = {s for s, _ in grid_for_profile("quick")}
+        assert scenarios == set(ALL_SCENARIOS)

@@ -1,0 +1,63 @@
+"""Tests for the consolidated experiment report assembler."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import (
+    REPORT_ORDER,
+    assemble_markdown,
+    collect_recorded,
+    main,
+)
+
+
+class TestCollect:
+    def test_missing_dir_is_empty(self, tmp_path):
+        assert collect_recorded(tmp_path / "nope") == {}
+
+    def test_reads_recorded_files(self, tmp_path):
+        (tmp_path / "fig4.txt").write_text("fig4 body\n")
+        (tmp_path / "table3.txt").write_text("table3 body\n")
+        recorded = collect_recorded(tmp_path)
+        assert set(recorded) == {"fig4", "table3"}
+        assert recorded["fig4"] == "fig4 body"
+
+    def test_ignores_unknown_files(self, tmp_path):
+        (tmp_path / "weird.txt").write_text("x")
+        assert collect_recorded(tmp_path) == {}
+
+
+class TestAssemble:
+    def test_sections_in_paper_order(self):
+        sections = {"table3": "T3", "fig4": "F4"}
+        report = assemble_markdown(sections)
+        assert report.index("## fig4") < report.index("## table3")
+
+    def test_missing_noted(self):
+        report = assemble_markdown({"fig4": "F4"})
+        assert "Missing experiments" in report
+        assert "fig5" in report
+
+    def test_complete_report_has_no_missing_note(self):
+        sections = {name: "body" for name in REPORT_ORDER}
+        assert "Missing experiments" not in assemble_markdown(sections)
+
+
+class TestMain:
+    def test_errors_without_recorded_results(self, tmp_path, monkeypatch):
+        import repro.experiments.report as report_module
+        monkeypatch.setattr(report_module, "DEFAULT_RESULTS_DIR",
+                            tmp_path / "none")
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_writes_output_file(self, tmp_path, monkeypatch):
+        import repro.experiments.report as report_module
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig4.txt").write_text("F4\n")
+        monkeypatch.setattr(report_module, "DEFAULT_RESULTS_DIR", results)
+        out = tmp_path / "report.md"
+        assert main(["--output", str(out)]) == 0
+        assert "F4" in out.read_text()

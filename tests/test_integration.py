@@ -1,0 +1,150 @@
+"""Integration tests: the paper's pipeline end-to-end at tiny budgets."""
+
+import math
+
+import pytest
+
+from repro import (
+    CostModel,
+    EncodingStyle,
+    MappingSearchBudget,
+    NAASBudget,
+    baseline_constraint,
+    baseline_preset,
+    build_model,
+    search_accelerator,
+    search_mapping,
+)
+from repro.mapping.builders import dataflow_preserving_mapping
+from repro.search.accelerator_search import evaluate_accelerator
+from repro.search.random_search import RandomEngine
+from repro.tensors.network import Network
+
+TINY = NAASBudget(accel_population=5, accel_iterations=3,
+                  mapping=MappingSearchBudget(population=5, iterations=3))
+
+
+@pytest.fixture(scope="module")
+def mobilenet():
+    return build_model("mobilenet_v2")
+
+
+@pytest.fixture(scope="module")
+def cost_model():
+    return CostModel()
+
+
+class TestPaperHeadline:
+    """The paper's central result at miniature scale: NAAS within Eyeriss
+    resources beats Eyeriss on MobileNetV2's EDP."""
+
+    def test_naas_beats_eyeriss_preset(self, mobilenet, cost_model):
+        preset = baseline_preset("eyeriss")
+        baseline = cost_model.evaluate_network(
+            mobilenet, preset,
+            lambda l: dataflow_preserving_mapping(l, preset))
+        result = search_accelerator(
+            [mobilenet], baseline_constraint("eyeriss"), cost_model,
+            budget=TINY, seed=0, seed_configs=[preset])
+        assert result.found
+        assert result.best_reward < baseline.edp
+
+    def test_mapping_search_beats_heuristic_on_preset(self, mobilenet,
+                                                      cost_model):
+        preset = baseline_preset("eyeriss")
+        heuristic = cost_model.evaluate_network(
+            mobilenet, preset,
+            lambda l: dataflow_preserving_mapping(l, preset))
+        reward, costs, _ = evaluate_accelerator(
+            preset, [mobilenet], cost_model,
+            MappingSearchBudget(population=6, iterations=4), seed=1)
+        assert reward <= heuristic.edp * (1 + 1e-9)
+        assert costs[mobilenet.name].valid
+
+
+class TestSearchComposition:
+    def test_es_beats_random_hardware_search(self, mobilenet, cost_model):
+        """Fig 4's claim at miniature scale (same seeds, same budget)."""
+        constraint = baseline_constraint("eyeriss")
+        wins = 0
+        for seed in range(3):
+            es = search_accelerator([mobilenet], constraint, cost_model,
+                                    budget=TINY, seed=seed)
+            rand = search_accelerator([mobilenet], constraint, cost_model,
+                                      budget=TINY, seed=seed,
+                                      engine_cls=RandomEngine)
+            wins += es.best_reward <= rand.best_reward
+        assert wins >= 2
+
+    def test_importance_encoding_no_worse_than_index(self, cost_model):
+        """Fig 9's claim at miniature scale on a single layer's mapping."""
+        layer = build_model("vgg16").layers[5]
+        accel = baseline_preset("nvdla_256")
+        importance = search_mapping(
+            layer, accel, cost_model, MappingSearchBudget(8, 5), seed=2,
+            style=EncodingStyle.IMPORTANCE)
+        index = search_mapping(
+            layer, accel, cost_model, MappingSearchBudget(8, 5), seed=2,
+            style=EncodingStyle.INDEX, seed_with_heuristic=False)
+        assert importance.best_edp <= index.best_edp * 1.1
+
+
+class TestCrossModelConsistency:
+    @pytest.mark.parametrize("preset_name", ["eyeriss", "nvdla_256",
+                                             "shidiannao"])
+    def test_all_mobile_models_mappable(self, preset_name, cost_model):
+        preset = baseline_preset(preset_name)
+        for model_name in ("mobilenet_v2", "squeezenet", "mnasnet"):
+            net = build_model(model_name)
+            cost = cost_model.evaluate_network(
+                net, preset, lambda l: dataflow_preserving_mapping(l, preset))
+            assert cost.valid, (preset_name, model_name)
+            assert math.isfinite(cost.edp)
+
+    def test_network_edp_additive_decomposition(self, cost_model):
+        """Network EDP must equal (sum cycles) x (sum energy)."""
+        preset = baseline_preset("nvdla_256")
+        net = build_model("squeezenet")
+        cost = cost_model.evaluate_network(
+            net, preset, lambda l: dataflow_preserving_mapping(l, preset))
+        assert cost.edp == pytest.approx(
+            cost.total_cycles * cost.total_energy_nj)
+
+
+class TestFailureInjection:
+    def test_minimal_tiles_keep_tiny_l2_mappable(self, cost_model):
+        """The tile legalizer shrinks to all-ones rather than failing, so
+        even a 300-byte L2 stays mappable (at terrible cost)."""
+        from repro.accelerator.arch import AcceleratorConfig
+        from repro.tensors.dims import Dim
+        from repro.tensors.layer import ConvLayer
+        cramped = AcceleratorConfig(
+            array_dims=(64, 64), parallel_dims=(Dim.C, Dim.K),
+            l1_bytes=16, l2_bytes=300, dram_bandwidth=4, name="cramped")
+        layer = ConvLayer(name="wide", k=128, c=128, y=112, x=112, r=3, s=3)
+        net = Network(name="w", layers=(layer,))
+        reward, _, _ = evaluate_accelerator(
+            cramped, [net], cost_model, MappingSearchBudget(4, 2), seed=0)
+        assert math.isfinite(reward)
+
+    def test_structurally_invalid_hardware_reported(self, cost_model):
+        """Hardware below the structural minimums is rejected as a whole."""
+        from repro.accelerator.arch import AcceleratorConfig
+        from repro.tensors.dims import Dim
+        from repro.tensors.layer import ConvLayer
+        broken = AcceleratorConfig(
+            array_dims=(8, 8), parallel_dims=(Dim.C, Dim.K),
+            l1_bytes=2, l2_bytes=64 * 1024, dram_bandwidth=16, name="broken")
+        layer = ConvLayer(name="l", k=8, c=8, y=8, x=8, r=3, s=3)
+        net = Network(name="n", layers=(layer,))
+        reward, _, _ = evaluate_accelerator(
+            broken, [net], cost_model, MappingSearchBudget(4, 2), seed=0)
+        assert reward == math.inf
+
+    def test_search_survives_partial_invalidity(self, cost_model):
+        """Search keeps going when some candidates decode invalid."""
+        constraint = baseline_constraint("shidiannao")
+        net = build_model("squeezenet")
+        result = search_accelerator([net], constraint, cost_model,
+                                    budget=TINY, seed=4)
+        assert result.found

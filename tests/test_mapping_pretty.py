@@ -1,0 +1,93 @@
+"""Tests for the Fig 2-style mapping renderers."""
+
+import pytest
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.mapping.builders import dataflow_preserving_mapping
+from repro.mapping.pretty import render_full, render_loop_nest, render_maestro
+from repro.tensors.dims import Dim
+from repro.tensors.layer import ConvLayer
+
+
+@pytest.fixture
+def layer():
+    return ConvLayer(name="pp", k=32, c=16, y=14, x=14, r=3, s=3)
+
+
+@pytest.fixture
+def accel():
+    return AcceleratorConfig(array_dims=(8, 8),
+                             parallel_dims=(Dim.C, Dim.K),
+                             l1_bytes=64, l2_bytes=64 * 1024,
+                             dram_bandwidth=16, name="pp-accel")
+
+
+@pytest.fixture
+def mapping(layer, accel):
+    return dataflow_preserving_mapping(layer, accel)
+
+
+class TestLoopNest:
+    def test_contains_parallel_fors(self, layer, accel, mapping):
+        text = render_loop_nest(layer, accel, mapping)
+        assert text.count("Parallel-For") == 2
+
+    def test_ordered_outer_loops(self, layer, accel, mapping):
+        text = render_loop_nest(layer, accel, mapping)
+        lines = text.split("\n")
+        # outer loops appear in the mapping's array order
+        outer_names = [d.name for d in mapping.array_order]
+        found = [line for line in lines if "tiles of" in line]
+        assert len(found) == 6
+        for line, name in zip(found, outer_names):
+            assert f"# {name} tiles" in line
+
+    def test_mac_statement_innermost(self, layer, accel, mapping):
+        text = render_loop_nest(layer, accel, mapping)
+        assert text.rstrip().endswith("* wgts[k,c,r,s]")
+
+    def test_batch_loop_when_n_gt_1(self, accel):
+        batched = ConvLayer(name="b", n=4, k=8, c=8, y=4, x=4, r=1, s=1)
+        mapping = dataflow_preserving_mapping(batched, accel)
+        text = render_loop_nest(batched, accel, mapping)
+        assert "for _n in range(4):" in text
+
+    def test_indentation_strictly_increases(self, layer, accel, mapping):
+        text = render_loop_nest(layer, accel, mapping)
+        depths = [len(line) - len(line.lstrip()) for line in text.split("\n")]
+        assert depths == sorted(depths)
+
+
+class TestMaestro:
+    def test_one_spatial_map_per_axis(self, layer, accel, mapping):
+        text = render_maestro(layer, accel, mapping)
+        assert text.count("SpatialMap") == 2
+        assert text.count("Cluster(") == 1
+
+    def test_temporal_sizes_are_tiles(self, layer, accel, mapping):
+        text = render_maestro(layer, accel, mapping)
+        y_tile = mapping.tile(Dim.Y)
+        assert f"TemporalMap ({y_tile}, {y_tile}) Y;" in text
+
+    def test_pe_level_maps_are_unit(self, layer, accel, mapping):
+        text = render_maestro(layer, accel, mapping)
+        cluster_section = text.split("Cluster(")[1]
+        assert "TemporalMap (1, 1)" in cluster_section
+
+    def test_3d_array_gets_two_clusters(self, layer):
+        accel3 = AcceleratorConfig(array_dims=(4, 4, 2),
+                                   parallel_dims=(Dim.C, Dim.K, Dim.Y),
+                                   l1_bytes=64, l2_bytes=64 * 1024,
+                                   dram_bandwidth=16, name="3d")
+        mapping = dataflow_preserving_mapping(layer, accel3)
+        text = render_maestro(layer, accel3, mapping)
+        assert text.count("Cluster(") == 2
+        assert text.count("SpatialMap") == 3
+
+
+class TestFull:
+    def test_mentions_layer_and_hardware(self, layer, accel, mapping):
+        text = render_full(layer, accel, mapping)
+        assert layer.name in text
+        assert accel.name in text
+        assert "## loop nest" in text and "## MAESTRO directives" in text

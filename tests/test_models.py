@@ -1,0 +1,97 @@
+"""Tests for the CNN model zoo: shapes, MAC counts, stage wiring."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.models import (
+    LARGE_BENCHMARKS,
+    MOBILE_BENCHMARKS,
+    build_model,
+    large_benchmark_set,
+    mobile_benchmark_set,
+)
+from repro.models.zoo import MODEL_BUILDERS
+
+#: Published MAC counts (multiply-accumulates, batch 1) within tolerance;
+#: FC heads included. VGG16 ~15.5G, ResNet50 ~4.1G, MobileNetV2 ~0.3G,
+#: SqueezeNet ~0.35G, MnasNet-B1 ~0.33G.
+EXPECTED_GMACS = {
+    "vgg16": (14.0, 16.5),
+    "resnet50": (3.7, 4.3),
+    "mobilenet_v2": (0.25, 0.40),
+    "squeezenet": (0.25, 0.50),
+    "mnasnet": (0.25, 0.45),
+    "unet": (15.0, 70.0),  # 256x256 input variant
+}
+
+
+class TestZoo:
+    def test_unknown_model_raises(self):
+        with pytest.raises(ReproError):
+            build_model("alexnet")
+
+    @pytest.mark.parametrize("name", sorted(MODEL_BUILDERS))
+    def test_builds_and_nonempty(self, name):
+        net = build_model(name)
+        assert len(net) > 5
+        assert net.total_macs > 0
+
+    @pytest.mark.parametrize("name,bounds", sorted(EXPECTED_GMACS.items()))
+    def test_mac_counts_plausible(self, name, bounds):
+        lo, hi = bounds
+        gmacs = build_model(name).total_macs / 1e9
+        assert lo <= gmacs <= hi, f"{name}: {gmacs:.2f} GMACs not in [{lo}, {hi}]"
+
+    def test_benchmark_sets(self):
+        assert [n.name for n in large_benchmark_set()] == list(LARGE_BENCHMARKS)
+        assert [n.name for n in mobile_benchmark_set()] == list(MOBILE_BENCHMARKS)
+
+
+class TestChannelWiring:
+    """Consecutive layers must agree on channel counts (graph sanity)."""
+
+    def test_vgg_channels_chain(self):
+        net = build_model("vgg16")
+        convs = [l for l in net if l.r == 3]
+        for prev, nxt in zip(convs, convs[1:]):
+            # within VGG the next conv's input channels equal some
+            # earlier conv's output channels
+            assert nxt.c in {prev.k, prev.k // 2, prev.k * 2, prev.k * 4}
+
+    def test_mobilenet_block_structure(self):
+        net = build_model("mobilenet_v2")
+        dws = [l for l in net if l.is_depthwise]
+        assert len(dws) == 17  # one per inverted-residual block
+        for dw in dws:
+            assert dw.r == dw.s == 3
+
+    def test_mnasnet_has_5x5_kernels(self):
+        net = build_model("mnasnet")
+        assert any(l.r == 5 for l in net if l.is_depthwise)
+
+    def test_resnet_has_projections(self):
+        net = build_model("resnet50")
+        projections = [l for l in net if "branch1" in l.name]
+        assert len(projections) == 4  # one per stage
+
+    def test_unet_decoder_mirrors_encoder(self):
+        net = build_model("unet")
+        enc = [l for l in net if l.name.startswith("enc")]
+        dec = [l for l in net if l.name.startswith("dec")]
+        assert len(enc) == len(dec)
+
+    def test_squeezenet_fire_modules(self):
+        net = build_model("squeezenet")
+        squeezes = [l for l in net if "squeeze" in l.name]
+        assert len(squeezes) == 8
+
+
+class TestBatchAndBits:
+    def test_batch_scales_macs(self):
+        one = build_model("squeezenet", batch=1).total_macs
+        four = build_model("squeezenet", batch=4).total_macs
+        assert four == 4 * one
+
+    def test_bits_propagate(self):
+        net = build_model("squeezenet", bits=16)
+        assert all(l.bits == 16 for l in net)

@@ -1,0 +1,125 @@
+"""Tests for the mixed-precision quantization extension."""
+
+import math
+
+import pytest
+
+from repro.accelerator.presets import baseline_preset
+from repro.cost.model import CostModel
+from repro.errors import ReproError
+from repro.mapping.builders import dataflow_preserving_mapping
+from repro.nas.ofa_space import OFAResNetSpace
+from repro.nas.quantization import (
+    QuantPolicy,
+    QuantizedAccuracyPredictor,
+    quantize_subnet,
+    search_quantized,
+)
+from repro.search.mapping_search import MappingSearchBudget
+
+
+@pytest.fixture
+def space():
+    return OFAResNetSpace()
+
+
+class TestQuantPolicy:
+    def test_uniform(self):
+        policy = QuantPolicy.uniform(8)
+        assert policy.stage_bits == (8, 8, 8, 8)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ReproError):
+            QuantPolicy(stage_bits=(8, 8, 8, 12))
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ReproError):
+            QuantPolicy(stage_bits=(8, 8))
+
+    def test_accuracy_drop_ordering(self):
+        assert QuantPolicy.uniform(16).accuracy_drop() == 0.0
+        assert QuantPolicy.uniform(8).accuracy_drop() < \
+            QuantPolicy.uniform(4).accuracy_drop()
+
+    def test_describe(self):
+        assert QuantPolicy(stage_bits=(4, 8, 8, 16)).describe() == "b4-8-8-16"
+
+
+class TestQuantizeSubnet:
+    def test_bits_assigned_per_stage(self, space):
+        arch = space.resnet50_like()
+        policy = QuantPolicy(stage_bits=(4, 8, 16, 8))
+        network = quantize_subnet(arch, policy)
+        for layer in network:
+            if layer.name.startswith("s1"):
+                assert layer.bits == 4
+            elif layer.name.startswith("s3"):
+                assert layer.bits == 16
+
+    def test_stem_follows_stage1(self, space):
+        arch = space.resnet50_like()
+        network = quantize_subnet(arch, QuantPolicy(stage_bits=(4, 8, 8, 8)))
+        stem = next(l for l in network if l.name == "stem")
+        assert stem.bits == 4
+
+    def test_structure_preserved(self, space):
+        arch = space.resnet50_like()
+        a = quantize_subnet(arch, QuantPolicy.uniform(8))
+        b = quantize_subnet(arch, QuantPolicy.uniform(4))
+        assert len(a) == len(b)
+        assert a.total_macs == b.total_macs
+
+
+class TestQuantizedCosts:
+    def test_lower_bits_cheaper(self, space, cost_model):
+        accel = baseline_preset("nvdla_256")
+        arch = space.resnet50_like()
+
+        def edp(bits):
+            network = quantize_subnet(arch, QuantPolicy.uniform(bits))
+            cost = cost_model.evaluate_network(
+                network, accel,
+                lambda l: dataflow_preserving_mapping(l, accel))
+            return cost.edp
+
+        assert edp(4) < edp(8) < edp(16)
+
+    def test_predictor_penalizes_low_bits(self, space):
+        predictor = QuantizedAccuracyPredictor()
+        arch = space.resnet50_like()
+        assert predictor(arch, QuantPolicy.uniform(16)) > \
+            predictor(arch, QuantPolicy.uniform(4))
+
+
+class TestQuantSearch:
+    def test_finds_pair(self):
+        result = search_quantized(
+            baseline_preset("nvdla_256"), CostModel(), accuracy_floor=74.0,
+            population=4, iterations=2,
+            mapping_budget=MappingSearchBudget(population=4, iterations=2),
+            seed=0)
+        assert result.found
+        assert result.best_accuracy >= 74.0
+        assert math.isfinite(result.best_edp)
+
+    def test_impossible_floor(self):
+        result = search_quantized(
+            baseline_preset("nvdla_256"), CostModel(), accuracy_floor=99.0,
+            population=4, iterations=2,
+            mapping_budget=MappingSearchBudget(population=4, iterations=2),
+            seed=1)
+        assert not result.found
+
+    def test_quantization_beats_uniform8_edp(self, space, cost_model):
+        """With bits searchable, the best EDP is no worse than uniform 8."""
+        accel = baseline_preset("nvdla_256")
+        arch = space.resnet50_like()
+        uniform = quantize_subnet(arch, QuantPolicy.uniform(8))
+        uniform_cost = cost_model.evaluate_network(
+            uniform, accel, lambda l: dataflow_preserving_mapping(l, accel))
+        result = search_quantized(
+            accel, cost_model, accuracy_floor=72.0,
+            population=6, iterations=3,
+            mapping_budget=MappingSearchBudget(population=4, iterations=2),
+            seed=2)
+        assert result.best_edp <= uniform_cost.edp

@@ -1,0 +1,107 @@
+"""Tests for the OFA ResNet-50 design space."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.nas.ofa_space import (
+    EXPAND_CHOICES,
+    IMAGE_SIZES,
+    MAX_BLOCKS_PER_STAGE,
+    OFAResNetSpace,
+    ResNetArch,
+    WIDTH_CHOICES,
+)
+from repro.utils.rng import ensure_rng
+
+
+@pytest.fixture
+def space():
+    return OFAResNetSpace()
+
+
+class TestArchValidation:
+    def test_resnet50_like_valid(self, space):
+        arch = space.resnet50_like()
+        assert arch.total_blocks == 16
+
+    def test_largest(self, space):
+        arch = space.largest()
+        assert arch.total_blocks == sum(MAX_BLOCKS_PER_STAGE) == 18
+        assert arch.image_size == 256
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ReproError):
+            ResNetArch(width_mult=0.9, image_size=224,
+                       blocks_per_stage=(4, 4, 6, 4),
+                       expand_ratios=(0.25,) * 18)
+
+    def test_rejects_bad_image_size(self):
+        with pytest.raises(ReproError):
+            ResNetArch(width_mult=1.0, image_size=100,
+                       blocks_per_stage=(4, 4, 6, 4),
+                       expand_ratios=(0.25,) * 18)
+
+    def test_rejects_too_shallow(self):
+        with pytest.raises(ReproError):
+            ResNetArch(width_mult=1.0, image_size=224,
+                       blocks_per_stage=(1, 4, 6, 4),
+                       expand_ratios=(0.25,) * 18)
+
+    def test_rejects_bad_expand(self):
+        with pytest.raises(ReproError):
+            ResNetArch(width_mult=1.0, image_size=224,
+                       blocks_per_stage=(4, 4, 6, 4),
+                       expand_ratios=(0.5,) * 18)
+
+    def test_active_ratios_match_depth(self, space):
+        arch = space.resnet50_like()
+        assert len(arch.active_expand_ratios()) == arch.total_blocks
+
+
+class TestSampling:
+    def test_samples_valid_and_diverse(self, space):
+        rng = ensure_rng(0)
+        archs = {space.sample(seed=rng) for _ in range(50)}
+        assert len(archs) > 30
+        for arch in archs:
+            assert arch.width_mult in WIDTH_CHOICES
+            assert arch.image_size in IMAGE_SIZES
+
+    def test_sample_deterministic(self, space):
+        assert space.sample(seed=3) == space.sample(seed=3)
+
+    def test_cardinality_matches_paper_magnitude(self, space):
+        # paper: ~10^13 architectures; our genome is within a few orders
+        assert space.cardinality > 1e10
+
+
+class TestEvolutionOps:
+    def test_mutate_zero_rate_is_identity(self, space):
+        arch = space.resnet50_like()
+        assert space.mutate(arch, rate=0.0, seed=0) == arch
+
+    def test_mutate_one_changes_genes(self, space):
+        arch = space.resnet50_like()
+        mutated = space.mutate(arch, rate=1.0, seed=1)
+        assert mutated != arch
+
+    def test_mutate_produces_valid(self, space):
+        rng = ensure_rng(2)
+        arch = space.largest()
+        for _ in range(20):
+            arch = space.mutate(arch, rate=0.3, seed=rng)
+            assert arch.total_blocks >= 10
+
+    def test_crossover_genes_from_parents(self, space):
+        a = space.largest()
+        b = space.resnet50_like()
+        child = space.crossover(a, b, seed=3)
+        assert child.width_mult in (a.width_mult, b.width_mult)
+        assert child.image_size in (a.image_size, b.image_size)
+        for ca, (ga, gb) in zip(child.expand_ratios,
+                                zip(a.expand_ratios, b.expand_ratios)):
+            assert ca in (ga, gb)
+
+    def test_describe(self, space):
+        text = space.resnet50_like().describe()
+        assert "w1" in text and "r224" in text

@@ -1,0 +1,103 @@
+"""Tests for subnet materialization and the accuracy predictor."""
+
+import pytest
+
+from repro.nas.accuracy import AccuracyPredictor, reference_accuracy
+from repro.nas.ofa_space import OFAResNetSpace
+from repro.nas.subnet import build_subnet
+from repro.utils.rng import ensure_rng
+
+
+@pytest.fixture
+def space():
+    return OFAResNetSpace()
+
+
+@pytest.fixture
+def predictor():
+    return AccuracyPredictor()
+
+
+class TestSubnet:
+    def test_resnet50_like_macs(self, space):
+        net = build_subnet(space.resnet50_like())
+        gmacs = net.total_macs / 1e9
+        # real ResNet-50 at 224px is ~4.1 GMACs
+        assert 3.0 <= gmacs <= 5.0
+
+    def test_depth_controls_layers(self, space):
+        full = build_subnet(space.largest())
+        slim_arch = space.resnet50_like()
+        slim = build_subnet(slim_arch)
+        assert len(full) > len(slim)
+
+    def test_width_scales_channels(self, space):
+        arch = space.resnet50_like()
+        import dataclasses
+        thin = dataclasses.replace(arch, width_mult=0.65)
+        assert build_subnet(thin).total_macs < build_subnet(arch).total_macs
+
+    def test_resolution_scales_spatial(self, space):
+        arch = space.resnet50_like()
+        import dataclasses
+        small = dataclasses.replace(arch, image_size=128)
+        assert build_subnet(small).total_macs < build_subnet(arch).total_macs
+
+    def test_projection_on_first_block_only(self, space):
+        net = build_subnet(space.resnet50_like())
+        projections = [l for l in net if l.name.endswith("_proj")]
+        assert len(projections) == 4
+
+    def test_channels_multiple_of_8(self, space):
+        rng = ensure_rng(0)
+        for _ in range(5):
+            net = build_subnet(space.sample(seed=rng))
+            for layer in net:
+                if layer.c > 3:  # skip the RGB stem input
+                    assert layer.k % 8 == 0 or layer.k == 1000
+
+
+class TestAccuracyPredictor:
+    def test_anchor(self, space, predictor):
+        assert predictor(space.resnet50_like()) == pytest.approx(
+            reference_accuracy(), abs=0.2)
+
+    def test_largest_close_to_ofa(self, space, predictor):
+        acc = predictor(space.largest())
+        assert 78.5 <= acc <= 79.5  # paper's top point is 79.0
+
+    def test_monotone_in_width(self, space, predictor):
+        import dataclasses
+        arch = space.resnet50_like()
+        thin = dataclasses.replace(arch, width_mult=0.65)
+        assert predictor(thin) < predictor(arch)
+
+    def test_monotone_in_resolution(self, space, predictor):
+        import dataclasses
+        arch = space.resnet50_like()
+        low = dataclasses.replace(arch, image_size=128)
+        high = dataclasses.replace(arch, image_size=256)
+        assert predictor(low) < predictor(arch) < predictor(high)
+
+    def test_deterministic(self, space, predictor):
+        arch = space.sample(seed=9)
+        assert predictor(arch) == predictor(arch)
+
+    def test_bounded(self, space, predictor):
+        rng = ensure_rng(1)
+        for _ in range(100):
+            acc = predictor(space.sample(seed=rng))
+            assert 55.0 <= acc <= 82.0
+
+    def test_jitter_is_small(self, space, predictor):
+        """Two same-capacity archs differ only by the +-0.1 jitter."""
+        import dataclasses
+        arch = space.resnet50_like()
+        # swap two equal expand ratios: same capacity, different identity
+        ratios = list(arch.expand_ratios)
+        ratios[0], ratios[17] = 0.2, 0.35
+        other = dataclasses.replace(arch, expand_ratios=tuple(ratios))
+        ratios2 = list(arch.expand_ratios)
+        ratios2[0], ratios2[17] = 0.35, 0.2
+        other2 = dataclasses.replace(arch, expand_ratios=tuple(ratios2))
+        assert abs(predictor(other) - predictor(other2)) < 0.5

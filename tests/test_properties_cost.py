@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) for the cost model's invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.cost.model import CostModel, theoretical_peak_cycles
+from repro.cost.operands import Operand, footprint_elements, total_elements
+from repro.mapping.builders import dataflow_preserving_mapping
+from repro.mapping.mapping import Mapping
+from repro.tensors.dims import SEARCHED_DIMS, Dim
+from repro.tensors.layer import ConvLayer
+
+MODEL = CostModel()
+
+
+@st.composite
+def layers(draw):
+    k = draw(st.integers(1, 64))
+    c = draw(st.integers(1, 64))
+    r = draw(st.sampled_from([1, 3, 5]))
+    y = draw(st.integers(1, 28))
+    stride = draw(st.sampled_from([1, 2]))
+    depthwise = draw(st.booleans())
+    if depthwise:
+        return ConvLayer(name="h_dw", k=k, c=k, groups=k, y=y, x=y, r=r, s=r,
+                         stride=stride)
+    return ConvLayer(name="h", k=k, c=c, y=y, x=y, r=r, s=r, stride=stride)
+
+
+@st.composite
+def accels(draw):
+    rows = draw(st.sampled_from([2, 4, 8, 16]))
+    cols = draw(st.sampled_from([2, 4, 8, 16]))
+    dims = draw(st.permutations(list(SEARCHED_DIMS)))
+    return AcceleratorConfig(
+        array_dims=(rows, cols),
+        parallel_dims=tuple(dims[:2]),
+        l1_bytes=draw(st.sampled_from([32, 64, 256, 512])),
+        l2_bytes=draw(st.sampled_from([16, 64, 256])) * 1024,
+        dram_bandwidth=draw(st.sampled_from([4, 16, 64])),
+        name="hyp")
+
+
+@st.composite
+def mappings(draw, layer):
+    array_order = tuple(draw(st.permutations(list(SEARCHED_DIMS))))
+    pe_order = tuple(draw(st.permutations(list(SEARCHED_DIMS))))
+    tiles = {}
+    for dim in SEARCHED_DIMS:
+        size = layer.dim_size(dim)
+        tiles[dim] = draw(st.integers(1, size))
+    return Mapping.create(array_order=array_order, pe_order=pe_order,
+                          tiles=tiles)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_valid_costs_are_physical(data):
+    """Any valid evaluation respects hard lower bounds."""
+    layer = data.draw(layers())
+    accel = data.draw(accels())
+    mapping = data.draw(mappings(layer))
+    cost = MODEL.evaluate(layer, accel, mapping)
+    if not cost.valid:
+        assert cost.edp == math.inf
+        assert cost.reasons
+        return
+    assert cost.cycles >= theoretical_peak_cycles([layer], accel)
+    assert cost.energy_nj > 0
+    assert 0 < cost.utilization <= 1
+    cold = (total_elements(layer, Operand.WEIGHT)
+            + total_elements(layer, Operand.INPUT)
+            + total_elements(layer, Operand.OUTPUT)) * layer.bytes_per_element
+    assert cost.traffic.total_dram_bytes >= cold * 0.999
+    assert cost.traffic.l2_read_bytes >= 0
+    assert cost.traffic.l1_bytes >= layer.macs * 2 * layer.bytes_per_element
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_heuristic_mapping_always_evaluates(data):
+    """The dataflow-preserving builder must produce evaluable mappings
+    whenever the hardware passes structural validation."""
+    layer = data.draw(layers())
+    accel = data.draw(accels())
+    mapping = dataflow_preserving_mapping(layer, accel)
+    cost = MODEL.evaluate(layer, accel, mapping)
+    if accel.l1_bytes >= 8:
+        assert cost.valid, cost.reasons
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_footprints_monotone_in_extents(data):
+    """Growing any extent never shrinks a footprint."""
+    layer = data.draw(layers())
+    extents = {d: data.draw(st.integers(1, max(1, layer.dim_size(d))))
+               for d in Dim}
+    dim = data.draw(st.sampled_from(list(Dim)))
+    grown = dict(extents)
+    grown[dim] = extents[dim] + 1
+    for op in Operand:
+        assert footprint_elements(layer, op, grown) >= \
+            footprint_elements(layer, op, extents)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_determinism(data):
+    layer = data.draw(layers())
+    accel = data.draw(accels())
+    mapping = data.draw(mappings(layer))
+    a = MODEL.evaluate(layer, accel, mapping)
+    b = MODEL.evaluate(layer, accel, mapping)
+    assert a.cycles == b.cycles and a.energy_nj == b.energy_nj

@@ -1,0 +1,93 @@
+"""Property-based tests (hypothesis) for the encoders."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.accelerator.constraints import ResourceConstraint
+from repro.cost.operands import tile_set_bytes
+from repro.encoding.hardware import HardwareEncoder
+from repro.encoding.importance import importance_for_order, ranked_dims
+from repro.encoding.index import nth_permutation, permutation_count
+from repro.encoding.mapping_enc import MappingEncoder
+from repro.encoding.spaces import EncodingStyle
+from repro.errors import EncodingError
+from repro.tensors.dims import SEARCHED_DIMS
+from repro.tensors.layer import ConvLayer
+
+
+@st.composite
+def constraints(draw):
+    return ResourceConstraint(
+        max_pes=draw(st.sampled_from([64, 168, 256, 1024, 4096])),
+        max_onchip_bytes=draw(st.sampled_from([64, 256, 1024, 8192])) * 1024,
+        max_dram_bandwidth=draw(st.sampled_from([8, 16, 64, 128])),
+        name="hyp")
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=st.data(),
+       style=st.sampled_from(list(EncodingStyle)))
+def test_hardware_decode_respects_constraint(data, style):
+    """Whatever decodes must satisfy the constraint; failures must be
+    EncodingError (never a crash or an out-of-budget design)."""
+    constraint = data.draw(constraints())
+    encoder = HardwareEncoder(constraint, style=style)
+    vector = np.array(data.draw(st.lists(
+        st.floats(0, 1), min_size=encoder.num_params,
+        max_size=encoder.num_params)))
+    try:
+        config = encoder.decode(vector)
+    except EncodingError:
+        return
+    assert constraint.admits(config)
+    assert len(set(config.parallel_dims)) == config.num_array_dims
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=st.data(),
+       style=st.sampled_from(list(EncodingStyle)))
+def test_mapping_decode_always_legal(data, style):
+    layer = ConvLayer(
+        name="hyp",
+        k=data.draw(st.integers(1, 128)),
+        c=data.draw(st.integers(1, 128)),
+        y=data.draw(st.integers(1, 56)),
+        x=data.draw(st.integers(1, 56)),
+        r=data.draw(st.sampled_from([1, 3, 5])),
+        s=data.draw(st.sampled_from([1, 3, 5])))
+    from repro.tensors.dims import Dim
+    from repro.accelerator.arch import AcceleratorConfig
+    accel = AcceleratorConfig(
+        array_dims=(8, 8), parallel_dims=(Dim.C, Dim.K),
+        l1_bytes=64, l2_bytes=64 * 1024, dram_bandwidth=16, name="hyp")
+    encoder = MappingEncoder(layer, accel, style=style)
+    vector = np.array(data.draw(st.lists(
+        st.floats(0, 1), min_size=encoder.num_params,
+        max_size=encoder.num_params)))
+    mapping = encoder.decode(vector)
+    assert mapping.legal_for(layer)
+    assert tile_set_bytes(layer, mapping.tile_map, 4) <= accel.l2_bytes
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=st.lists(st.floats(-10, 10), min_size=6, max_size=6))
+def test_ranked_dims_is_permutation(values):
+    ranked = ranked_dims(values)
+    assert sorted(d.name for d in ranked) == \
+        sorted(d.name for d in SEARCHED_DIMS)
+
+
+@settings(max_examples=50, deadline=None)
+@given(order=st.permutations(list(SEARCHED_DIMS)))
+def test_importance_inverse_round_trips(order):
+    assert ranked_dims(importance_for_order(tuple(order))) == tuple(order)
+
+
+@settings(max_examples=50, deadline=None)
+@given(k=st.integers(1, 6), data=st.data())
+def test_permutation_indexing_bijective(k, data):
+    total = permutation_count(len(SEARCHED_DIMS), k)
+    index = data.draw(st.integers(0, total - 1))
+    perm = nth_permutation(SEARCHED_DIMS, k, index)
+    assert len(perm) == k
+    assert len(set(perm)) == k

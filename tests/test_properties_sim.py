@@ -1,0 +1,88 @@
+"""Property-based cross-validation: simulator vs analytical model.
+
+Randomized (layer, accelerator, mapping) triples — small enough for the
+trace simulator — must satisfy the exact and bounding relations between
+the two implementations.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.cost.model import CostModel
+from repro.cost.operands import Operand, total_elements
+from repro.mapping.mapping import Mapping
+from repro.sim.reference import ReferenceSimulator
+from repro.tensors.dims import SEARCHED_DIMS, Dim
+from repro.tensors.layer import ConvLayer
+
+SIM = ReferenceSimulator()
+MODEL = CostModel()
+
+
+@st.composite
+def small_cases(draw):
+    k = draw(st.integers(1, 12))
+    c = draw(st.integers(1, 12))
+    y = draw(st.integers(1, 8))
+    r = draw(st.sampled_from([1, 3]))
+    stride = draw(st.sampled_from([1, 2]))
+    depthwise = draw(st.booleans()) and k == c
+    layer = ConvLayer(name="hs", k=k, c=c, y=y, x=y, r=r, s=r,
+                      stride=stride, groups=k if depthwise else 1)
+
+    dims = draw(st.permutations(list(SEARCHED_DIMS)))
+    accel = AcceleratorConfig(
+        array_dims=(draw(st.sampled_from([2, 4])),
+                    draw(st.sampled_from([2, 4]))),
+        parallel_dims=tuple(dims[:2]),
+        l1_bytes=64,
+        l2_bytes=draw(st.sampled_from([512, 2048, 65536])),
+        dram_bandwidth=16, name="hs")
+
+    tiles = {}
+    for dim in SEARCHED_DIMS:
+        size = layer.dim_size(dim)
+        tiles[dim] = draw(st.integers(1, size))
+    mapping = Mapping.create(
+        array_order=tuple(draw(st.permutations(list(SEARCHED_DIMS)))),
+        pe_order=tuple(draw(st.permutations(list(SEARCHED_DIMS)))),
+        tiles=tiles)
+    return layer, accel, mapping
+
+
+@settings(max_examples=25, deadline=None)
+@given(case=small_cases())
+def test_exact_and_bounding_relations(case):
+    layer, accel, mapping = case
+    counts = SIM.run(layer, accel, mapping)
+
+    # exact invariants, independent of the cost model
+    assert counts.macs == layer.macs
+    assert counts.distinct_weights == layer.weight_elements
+    assert counts.distinct_outputs == layer.output_elements
+    # Inputs: the sliding window touches exactly min((Y-1)s+R, Y*R) rows
+    # per channel (with stride > kernel it skips rows); the analytical
+    # footprint is the contiguous bounding box, an upper bound.
+    touched_rows = min((layer.y - 1) * layer.stride + layer.r,
+                       layer.y * layer.r)
+    touched_cols = min((layer.x - 1) * layer.stride + layer.s,
+                       layer.x * layer.s)
+    assert counts.distinct_inputs == layer.c * touched_rows * touched_cols
+    assert counts.distinct_inputs <= layer.input_elements
+
+    cost = MODEL.evaluate(layer, accel, mapping)
+    if not cost.valid:
+        return
+    # the analytical ceil products never undercount compute steps
+    analytical_steps = cost.traffic.tiles_count * cost.traffic.steps_per_tile
+    assert analytical_steps >= counts.steps
+    # both sides respect their cold-miss lower bounds on DRAM reads: the
+    # analytical model against the bounding-box footprint, the simulator
+    # against the exactly-touched element set
+    analytical_cold = (total_elements(layer, Operand.WEIGHT)
+                       + total_elements(layer, Operand.INPUT)) \
+        * layer.bytes_per_element
+    sim_cold = (counts.distinct_weights + counts.distinct_inputs) \
+        * layer.bytes_per_element
+    assert cost.traffic.dram_read_bytes >= analytical_cold * 0.999
+    assert counts.dram_read_bytes >= sim_cold * 0.999

@@ -1,0 +1,75 @@
+"""Tests for the evaluation cache and search objectives."""
+
+import math
+
+import pytest
+
+from repro.cost.report import LayerCost, NetworkCost
+from repro.search.cache import EvaluationCache
+from repro.search.objectives import geomean_edp, total_energy, total_latency
+
+
+class TestCache:
+    def test_computes_once(self):
+        cache = EvaluationCache()
+        calls = []
+        for _ in range(3):
+            cache.get_or_compute("k", lambda: calls.append(1) or 42)
+        assert len(calls) == 1
+        assert cache.hits == 2
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_eviction_bound(self):
+        cache = EvaluationCache(max_entries=2)
+        for i in range(5):
+            cache.get_or_compute(i, lambda i=i: i)
+        assert len(cache) == 2
+
+    def test_lru_order(self):
+        cache = EvaluationCache(max_entries=2)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("a", lambda: 1)  # refresh a
+        cache.get_or_compute("c", lambda: 3)  # evicts b
+        cache.get_or_compute("b", lambda: 99)
+        assert cache.get_or_compute("b", lambda: 0) == 99
+
+    def test_clear(self):
+        cache = EvaluationCache()
+        cache.get_or_compute("x", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            EvaluationCache(max_entries=0)
+
+
+def _network_cost(name, cycles, energy):
+    layer = LayerCost(layer_name="l", valid=True, cycles=cycles,
+                      energy_nj=energy, utilization=0.5, macs=100)
+    return NetworkCost(network_name=name, layer_costs=(layer,))
+
+
+class TestObjectives:
+    def test_geomean_edp(self):
+        a = _network_cost("a", 10, 10)    # edp 100
+        b = _network_cost("b", 100, 100)  # edp 10000
+        assert geomean_edp([a, b]) == pytest.approx(1000.0)
+
+    def test_invalid_network_is_inf(self):
+        bad = NetworkCost(network_name="bad",
+                          layer_costs=(LayerCost.invalid("l", ("x",)),))
+        good = _network_cost("good", 10, 10)
+        assert geomean_edp([good, bad]) == math.inf
+
+    def test_empty_is_inf(self):
+        assert geomean_edp([]) == math.inf
+
+    def test_totals(self):
+        a = _network_cost("a", 10, 3)
+        b = _network_cost("b", 20, 4)
+        assert total_latency([a, b]) == 30
+        assert total_energy([a, b]) == 7

@@ -1,0 +1,113 @@
+"""Tests for the evolution strategy and the random-search baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.search.es import EvolutionEngine
+from repro.search.random_search import RandomEngine
+
+
+def sphere(x: np.ndarray, target: float = 0.7) -> float:
+    """Convex test objective with optimum inside the unit cube."""
+    return float(np.sum((x - target) ** 2))
+
+
+class TestEvolutionEngine:
+    def test_samples_in_unit_cube(self):
+        engine = EvolutionEngine(5, seed=0)
+        for _ in range(100):
+            x = engine.sample()
+            assert np.all(x >= 0) and np.all(x <= 1)
+
+    def test_optimizes_sphere(self):
+        engine = EvolutionEngine(4, seed=1)
+        best = np.inf
+        for _ in range(25):
+            population = [engine.sample() for _ in range(16)]
+            fitnesses = [sphere(x) for x in population]
+            engine.update(population, fitnesses)
+            best = min(best, min(fitnesses))
+        assert best < 0.01
+
+    def test_beats_random_on_sphere(self):
+        def run(engine_cls, seed):
+            engine = engine_cls(6, seed=seed)
+            best = np.inf
+            for _ in range(15):
+                population = [engine.sample() for _ in range(12)]
+                fitnesses = [sphere(x) for x in population]
+                engine.update(population, fitnesses)
+                best = min(best, min(fitnesses))
+            return best
+
+        es_wins = sum(run(EvolutionEngine, s) < run(RandomEngine, s)
+                      for s in range(5))
+        assert es_wins >= 4
+
+    def test_mean_moves_toward_elites(self):
+        engine = EvolutionEngine(3, seed=2)
+        target = np.array([0.9, 0.1, 0.5])
+        for _ in range(10):
+            population = [engine.sample() for _ in range(20)]
+            fitnesses = [float(np.sum((x - target) ** 2)) for x in population]
+            engine.update(population, fitnesses)
+        assert np.allclose(engine.mean, target, atol=0.25)
+
+    def test_ignores_infinite_fitness(self):
+        engine = EvolutionEngine(2, seed=3)
+        before = engine.mean.copy()
+        engine.update([engine.sample()], [np.inf])
+        assert np.allclose(engine.mean, before)
+        assert engine.generation == 1
+
+    def test_variance_floor_keeps_sampling_alive(self):
+        engine = EvolutionEngine(2, seed=4, sigma_floor=0.05)
+        point = np.array([0.5, 0.5])
+        for _ in range(50):
+            engine.update([point, point, point], [0.0, 0.0, 0.0])
+        spread = np.std([engine.sample() for _ in range(100)], axis=0)
+        assert np.all(spread > 0.01)
+
+    def test_initial_mean(self):
+        engine = EvolutionEngine(3, seed=5, initial_mean=[0.1, 0.2, 0.3],
+                                 sigma_init=0.01)
+        samples = np.stack([engine.sample() for _ in range(200)])
+        assert np.allclose(samples.mean(axis=0), [0.1, 0.2, 0.3], atol=0.05)
+
+    def test_mismatched_lengths_raise(self):
+        engine = EvolutionEngine(2, seed=6)
+        with pytest.raises(SearchError):
+            engine.update([engine.sample()], [1.0, 2.0])
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(SearchError):
+            EvolutionEngine(0)
+        with pytest.raises(SearchError):
+            EvolutionEngine(3, elite_fraction=0.0)
+        with pytest.raises(SearchError):
+            EvolutionEngine(3, initial_mean=[0.5])
+
+    def test_deterministic_given_seed(self):
+        a = EvolutionEngine(4, seed=7).sample()
+        b = EvolutionEngine(4, seed=7).sample()
+        assert np.allclose(a, b)
+
+
+class TestRandomEngine:
+    def test_distribution_never_adapts(self):
+        engine = RandomEngine(3, seed=0)
+        first = np.stack([engine.sample() for _ in range(500)])
+        engine.update([first[0]], [0.0])
+        second = np.stack([engine.sample() for _ in range(500)])
+        assert abs(first.mean() - second.mean()) < 0.05
+
+    def test_uniform_coverage(self):
+        engine = RandomEngine(1, seed=1)
+        samples = np.concatenate([engine.sample() for _ in range(1000)])
+        assert samples.min() < 0.05 and samples.max() > 0.95
+
+    def test_mismatched_lengths_raise(self):
+        engine = RandomEngine(2, seed=2)
+        with pytest.raises(SearchError):
+            engine.update([engine.sample()], [])

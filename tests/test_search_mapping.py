@@ -1,0 +1,84 @@
+"""Tests for the inner (mapping) search loop."""
+
+import math
+
+import pytest
+
+from repro.cost.model import CostModel
+from repro.encoding.spaces import EncodingStyle
+from repro.mapping.builders import dataflow_preserving_mapping
+from repro.search.mapping_search import MappingSearchBudget, search_mapping
+from repro.search.random_search import RandomEngine
+
+
+class TestBudget:
+    def test_total_samples(self):
+        assert MappingSearchBudget(population=4, iterations=3).total_samples == 12
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            MappingSearchBudget(population=0, iterations=1)
+
+
+class TestSearchMapping:
+    def test_finds_valid_mapping(self, small_layer, small_accel, cost_model):
+        result = search_mapping(small_layer, small_accel, cost_model,
+                                budget=MappingSearchBudget(6, 4), seed=0)
+        assert result.found
+        assert math.isfinite(result.best_edp)
+        assert result.best_cost.valid
+        assert result.evaluations > 0
+
+    def test_never_worse_than_heuristic(self, small_layer, small_accel,
+                                        cost_model):
+        heuristic = dataflow_preserving_mapping(small_layer, small_accel)
+        heuristic_edp = cost_model.evaluate(small_layer, small_accel,
+                                            heuristic).edp
+        result = search_mapping(small_layer, small_accel, cost_model,
+                                budget=MappingSearchBudget(6, 3), seed=1)
+        assert result.best_edp <= heuristic_edp * (1 + 1e-9)
+
+    def test_deterministic_given_seed(self, small_layer, small_accel,
+                                      cost_model):
+        a = search_mapping(small_layer, small_accel, cost_model,
+                           budget=MappingSearchBudget(5, 3), seed=7)
+        b = search_mapping(small_layer, small_accel, cost_model,
+                           budget=MappingSearchBudget(5, 3), seed=7)
+        assert a.best_edp == b.best_edp
+        assert a.best_mapping == b.best_mapping
+
+    def test_history_length(self, small_layer, small_accel, cost_model):
+        result = search_mapping(small_layer, small_accel, cost_model,
+                                budget=MappingSearchBudget(4, 5), seed=2)
+        assert len(result.history) == 5
+        assert all(h.population == 4 for h in result.history)
+
+    def test_more_budget_not_worse(self, small_layer, small_accel,
+                                   cost_model):
+        small = search_mapping(small_layer, small_accel, cost_model,
+                               budget=MappingSearchBudget(4, 2), seed=3)
+        big = search_mapping(small_layer, small_accel, cost_model,
+                             budget=MappingSearchBudget(12, 8), seed=3)
+        assert big.best_edp <= small.best_edp * 1.05
+
+    def test_index_style_works(self, small_layer, small_accel, cost_model):
+        result = search_mapping(small_layer, small_accel, cost_model,
+                                budget=MappingSearchBudget(6, 4), seed=4,
+                                style=EncodingStyle.INDEX)
+        assert result.found
+
+    def test_random_engine_works(self, small_layer, small_accel, cost_model):
+        result = search_mapping(small_layer, small_accel, cost_model,
+                                budget=MappingSearchBudget(6, 4), seed=5,
+                                engine_cls=RandomEngine)
+        assert result.found
+
+    def test_depthwise_layer(self, depthwise_layer, small_accel, cost_model):
+        result = search_mapping(depthwise_layer, small_accel, cost_model,
+                                budget=MappingSearchBudget(6, 3), seed=6)
+        assert result.found
+
+    def test_pointwise_layer(self, pointwise_layer, small_accel, cost_model):
+        result = search_mapping(pointwise_layer, small_accel, cost_model,
+                                budget=MappingSearchBudget(6, 3), seed=7)
+        assert result.found

@@ -1,0 +1,78 @@
+"""Tests for the pluggable search objectives."""
+
+import math
+
+import pytest
+
+from repro.accelerator.presets import baseline_constraint, baseline_preset
+from repro.cost.report import LayerCost, NetworkCost
+from repro.search.accelerator_search import NAASBudget, search_accelerator
+from repro.search.mapping_search import MappingSearchBudget
+from repro.search.objectives import (
+    geomean_edp,
+    geomean_energy,
+    geomean_latency,
+)
+from repro.tensors.layer import ConvLayer
+from repro.tensors.network import Network
+
+TINY = NAASBudget(accel_population=5, accel_iterations=3,
+                  mapping=MappingSearchBudget(population=4, iterations=2))
+
+
+def _network_cost(name, cycles, energy):
+    layer = LayerCost(layer_name="l", valid=True, cycles=cycles,
+                      energy_nj=energy, utilization=0.5, macs=100)
+    return NetworkCost(network_name=name, layer_costs=(layer,))
+
+
+class TestObjectiveFunctions:
+    def test_latency_objective(self):
+        costs = [_network_cost("a", 100, 1), _network_cost("b", 400, 1)]
+        assert geomean_latency(costs) == pytest.approx(200.0)
+
+    def test_energy_objective(self):
+        costs = [_network_cost("a", 1, 9), _network_cost("b", 1, 16)]
+        assert geomean_energy(costs) == pytest.approx(12.0)
+
+    def test_invalid_poisons_all_objectives(self):
+        bad = NetworkCost(network_name="bad",
+                          layer_costs=(LayerCost.invalid("l", ()),))
+        for objective in (geomean_edp, geomean_latency, geomean_energy):
+            assert objective([bad]) == math.inf
+
+    def test_empty_is_inf(self):
+        for objective in (geomean_edp, geomean_latency, geomean_energy):
+            assert objective([]) == math.inf
+
+
+class TestObjectiveDrivesSearch:
+    @pytest.fixture(scope="class")
+    def results(self, ):
+        layer = ConvLayer(name="c", k=32, c=32, y=14, x=14, r=3, s=3)
+        network = Network(name="n", layers=(layer,))
+        from repro.cost.model import CostModel
+        cost_model = CostModel()
+        constraint = baseline_constraint("nvdla_256")
+        preset = baseline_preset("nvdla_256")
+        out = {}
+        for label, fn in (("edp", geomean_edp),
+                          ("latency", geomean_latency),
+                          ("energy", geomean_energy)):
+            out[label] = search_accelerator(
+                [network], constraint, cost_model, budget=TINY, seed=7,
+                seed_configs=[preset], reward_fn=fn)
+        return out
+
+    def test_all_objectives_find_designs(self, results):
+        assert all(r.found for r in results.values())
+
+    def test_latency_objective_minimizes_cycles(self, results):
+        lat_cycles = results["latency"].network_costs["n"].total_cycles
+        en_cycles = results["energy"].network_costs["n"].total_cycles
+        assert lat_cycles <= en_cycles * 1.2
+
+    def test_energy_objective_minimizes_energy(self, results):
+        en = results["energy"].network_costs["n"].total_energy_nj
+        lat = results["latency"].network_costs["n"].total_energy_nj
+        assert en <= lat * 1.2

@@ -1,0 +1,96 @@
+"""Tests for Pareto-front utilities."""
+
+import pytest
+
+from repro.accelerator.presets import baseline_preset
+from repro.cost.model import CostModel
+from repro.nas.search import NASBudget
+from repro.search.mapping_search import MappingSearchBudget
+from repro.search.pareto import (
+    FrontierPoint,
+    hypervolume,
+    pareto_front,
+    sweep_accuracy_frontier,
+)
+
+
+def P(acc, edp, label=""):
+    return FrontierPoint(accuracy=acc, edp=edp, label=label)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert P(80, 1.0).dominates(P(75, 2.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not P(80, 1.0).dominates(P(80, 1.0))
+
+    def test_tradeoff_no_dominance(self):
+        a, b = P(80, 2.0), P(75, 1.0)
+        assert not a.dominates(b) and not b.dominates(a)
+
+    def test_one_axis_equal(self):
+        assert P(80, 1.0).dominates(P(80, 2.0))
+        assert P(80, 1.0).dominates(P(79, 1.0))
+
+
+class TestParetoFront:
+    def test_removes_dominated(self):
+        points = [P(80, 1.0), P(75, 2.0), P(78, 1.5), P(70, 0.5)]
+        front = pareto_front(points)
+        labels = {(p.accuracy, p.edp) for p in front}
+        assert (75, 2.0) not in labels
+        assert (78, 1.5) not in labels
+        assert (80, 1.0) in labels
+        assert (70, 0.5) in labels
+
+    def test_sorted_by_edp(self):
+        front = pareto_front([P(80, 3.0), P(70, 1.0), P(75, 2.0)])
+        edps = [p.edp for p in front]
+        assert edps == sorted(edps)
+
+    def test_duplicates_collapsed(self):
+        front = pareto_front([P(80, 1.0), P(80, 1.0)])
+        assert len(front) == 1
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        volume = hypervolume([P(80, 1.0)], reference=(70, 2.0))
+        assert volume == pytest.approx((2.0 - 1.0) * (80 - 70))
+
+    def test_monotone_in_points(self):
+        base = [P(78, 1.5)]
+        more = base + [P(80, 1.8)]
+        ref = (70, 2.0)
+        assert hypervolume(more, ref) >= hypervolume(base, ref)
+
+    def test_points_outside_reference_ignored(self):
+        assert hypervolume([P(60, 1.0)], reference=(70, 2.0)) == 0.0
+
+
+class TestSweep:
+    def test_frontier_is_nondominated_and_feasible(self):
+        front = sweep_accuracy_frontier(
+            baseline_preset("nvdla_256"), CostModel(),
+            accuracy_floors=[72.0, 76.0],
+            nas_budget=NASBudget(population=4, iterations=2),
+            mapping_budget=MappingSearchBudget(population=4, iterations=2),
+            seed=0)
+        assert front
+        for i, a in enumerate(front):
+            for j, b in enumerate(front):
+                if i != j:
+                    assert not a.dominates(b)
+
+    def test_higher_floor_gives_higher_accuracy_points(self):
+        front = sweep_accuracy_frontier(
+            baseline_preset("nvdla_256"), CostModel(),
+            accuracy_floors=[70.0, 78.5],
+            nas_budget=NASBudget(population=4, iterations=2),
+            mapping_budget=MappingSearchBudget(population=4, iterations=2),
+            seed=1)
+        assert max(p.accuracy for p in front) >= 78.5

@@ -1,0 +1,72 @@
+"""Tests for search-result persistence."""
+
+import pytest
+
+from repro.accelerator.presets import baseline_constraint, baseline_preset
+from repro.cost.model import CostModel
+from repro.errors import ReproError
+from repro.mapping.builders import dataflow_preserving_mapping
+from repro.search.accelerator_search import NAASBudget, search_accelerator
+from repro.search.mapping_search import MappingSearchBudget
+from repro.search.persist import (
+    config_from_dict,
+    config_to_dict,
+    load_search_artifacts,
+    mapping_from_dict,
+    mapping_to_dict,
+    save_search_result,
+)
+from repro.search.result import AcceleratorSearchResult
+from repro.tensors.network import Network
+
+
+class TestConfigRoundTrip:
+    def test_preset_round_trips(self):
+        preset = baseline_preset("eyeriss")
+        assert config_from_dict(config_to_dict(preset)) == preset
+
+    def test_malformed_raises(self):
+        with pytest.raises(ReproError):
+            config_from_dict({"array_dims": [8]})
+
+
+class TestMappingRoundTrip:
+    def test_heuristic_round_trips(self, small_layer, small_accel):
+        mapping = dataflow_preserving_mapping(small_layer, small_accel)
+        assert mapping_from_dict(mapping_to_dict(mapping)) == mapping
+
+    def test_malformed_raises(self):
+        with pytest.raises(ReproError):
+            mapping_from_dict({"array_order": ["K"]})
+
+
+class TestEndToEnd:
+    def test_save_and_reuse(self, tmp_path, small_layer, cost_model):
+        network = Network(name="n", layers=(small_layer,))
+        result = search_accelerator(
+            [network], baseline_constraint("nvdla_256"), cost_model,
+            budget=NAASBudget(accel_population=4, accel_iterations=2,
+                              mapping=MappingSearchBudget(4, 2)),
+            seed=0)
+        path = tmp_path / "design.json"
+        save_search_result(result, path)
+
+        loaded = load_search_artifacts(path)
+        assert loaded["config"] == result.best_config
+        assert loaded["reward"] == result.best_reward
+        # reloaded mappings evaluate to the same cost
+        reloaded = loaded["mappings"][small_layer.name]
+        model = CostModel()
+        original_cost = model.evaluate(
+            small_layer, result.best_config,
+            result.best_mappings[small_layer.name])
+        reloaded_cost = model.evaluate(small_layer, loaded["config"],
+                                       reloaded)
+        assert reloaded_cost.edp == original_cost.edp
+
+    def test_refuses_failed_search(self, tmp_path):
+        empty = AcceleratorSearchResult(
+            best_config=None, best_reward=float("inf"), network_costs={},
+            best_mappings={}, history=(), evaluations=0)
+        with pytest.raises(ReproError):
+            save_search_result(empty, tmp_path / "x.json")

@@ -1,0 +1,114 @@
+"""Unit tests for repro.tensors.layer."""
+
+import pytest
+
+from repro.errors import InvalidLayerError
+from repro.tensors.dims import Dim
+from repro.tensors.layer import ConvLayer, conv1x1, depthwise, linear_as_conv
+
+
+class TestConstruction:
+    def test_defaults(self):
+        layer = ConvLayer(name="l")
+        assert layer.macs == 1
+
+    def test_rejects_nonpositive_dim(self):
+        with pytest.raises(InvalidLayerError):
+            ConvLayer(name="l", k=0)
+
+    def test_rejects_float_dim(self):
+        with pytest.raises(InvalidLayerError):
+            ConvLayer(name="l", k=3.5)
+
+    def test_rejects_bad_groups(self):
+        with pytest.raises(InvalidLayerError):
+            ConvLayer(name="l", k=6, c=4, groups=4)
+
+    def test_frozen(self):
+        layer = ConvLayer(name="l")
+        with pytest.raises(Exception):
+            layer.k = 5
+
+
+class TestDerived:
+    def test_macs_formula(self, small_layer):
+        assert small_layer.macs == 32 * 16 * 14 * 14 * 3 * 3
+
+    def test_depthwise_macs(self, depthwise_layer):
+        # one input channel per output channel
+        assert depthwise_layer.macs == 32 * 14 * 14 * 3 * 3
+
+    def test_input_footprint_halo(self, small_layer):
+        assert small_layer.input_y == 14 - 1 + 3
+        assert small_layer.input_x == 16
+
+    def test_strided_input_footprint(self, strided_layer):
+        assert strided_layer.input_y == (7 - 1) * 2 + 3
+
+    def test_weight_elements(self, small_layer):
+        assert small_layer.weight_elements == 32 * 16 * 3 * 3
+
+    def test_depthwise_weight_elements(self, depthwise_layer):
+        assert depthwise_layer.weight_elements == 32 * 3 * 3
+
+    def test_output_elements(self, small_layer):
+        assert small_layer.output_elements == 32 * 14 * 14
+
+    def test_is_depthwise(self, depthwise_layer, small_layer):
+        assert depthwise_layer.is_depthwise
+        assert not small_layer.is_depthwise
+
+    def test_bytes_per_element(self):
+        assert ConvLayer(name="l", bits=8).bytes_per_element == 1.0
+        assert ConvLayer(name="l", bits=16).bytes_per_element == 2.0
+
+
+class TestDimSizes:
+    def test_dim_size_matches_fields(self, small_layer):
+        assert small_layer.dim_size(Dim.K) == 32
+        assert small_layer.dim_size(Dim.C) == 16
+        assert small_layer.dim_size(Dim.Y) == 14
+        assert small_layer.dim_size(Dim.R) == 3
+        assert small_layer.dim_size(Dim.N) == 1
+
+    def test_depthwise_c_is_one(self, depthwise_layer):
+        assert depthwise_layer.dim_size(Dim.C) == 1
+
+    def test_sizes7_cache_matches(self, small_layer):
+        assert small_layer.sizes7 == (1, 32, 16, 14, 14, 3, 3)
+
+    def test_dim_sizes_covers_all(self, small_layer):
+        sizes = small_layer.dim_sizes()
+        assert set(sizes) == set(Dim)
+
+
+class TestScaled:
+    def test_scales_channels_to_multiple_of_8(self, small_layer):
+        scaled = small_layer.scaled(0.5)
+        assert scaled.k == 16
+        assert scaled.c == 8
+
+    def test_depthwise_scaling_keeps_groups(self, depthwise_layer):
+        scaled = depthwise_layer.scaled(0.5)
+        assert scaled.is_depthwise
+        assert scaled.k == scaled.c == scaled.groups == 16
+
+    def test_rejects_nonpositive_multiplier(self, small_layer):
+        with pytest.raises(InvalidLayerError):
+            small_layer.scaled(0.0)
+
+
+class TestHelpers:
+    def test_conv1x1(self):
+        layer = conv1x1("pw", 64, 32, y=8, x=8)
+        assert layer.r == layer.s == 1
+        assert layer.macs == 64 * 32 * 8 * 8
+
+    def test_depthwise_helper(self):
+        layer = depthwise("dw", 32, y=8, x=8)
+        assert layer.is_depthwise
+
+    def test_linear_as_conv(self):
+        layer = linear_as_conv("fc", 1000, 2048)
+        assert layer.y == layer.x == 1
+        assert layer.macs == 1000 * 2048

@@ -1,0 +1,74 @@
+"""Unit tests for repro.tensors.network."""
+
+import pytest
+
+from repro.errors import InvalidLayerError
+from repro.tensors.layer import ConvLayer, conv1x1
+from repro.tensors.network import Network, shape_key, unique_layers
+
+
+def _net(*layers):
+    return Network(name="n", layers=tuple(layers))
+
+
+class TestNetwork:
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidLayerError):
+            Network(name="empty", layers=())
+
+    def test_len_and_iter(self, small_layer):
+        net = _net(small_layer, small_layer)
+        assert len(net) == 2
+        assert all(l is small_layer for l in net)
+
+    def test_total_macs(self, small_layer, pointwise_layer):
+        net = _net(small_layer, pointwise_layer)
+        assert net.total_macs == small_layer.macs + pointwise_layer.macs
+
+    def test_describe_mentions_layers(self, small_layer):
+        net = _net(small_layer)
+        assert "test_conv" in net.describe()
+
+
+class TestShapeKey:
+    def test_name_insensitive(self, small_layer):
+        import dataclasses
+        renamed = dataclasses.replace(small_layer, name="other")
+        assert shape_key(small_layer) == shape_key(renamed)
+
+    def test_differs_on_stride(self, small_layer):
+        import dataclasses
+        strided = dataclasses.replace(small_layer, stride=2, y=7, x=7)
+        assert shape_key(small_layer) != shape_key(strided)
+
+
+class TestUniqueShapes:
+    def test_dedup_with_counts(self, small_layer):
+        import dataclasses
+        twin = dataclasses.replace(small_layer, name="twin")
+        other = conv1x1("pw", 8, 8, y=4, x=4)
+        net = _net(small_layer, twin, other)
+        shapes = net.unique_shapes()
+        assert len(shapes) == 2
+        assert shapes[0][1] == 2
+        assert shapes[1][1] == 1
+
+    def test_first_seen_order(self):
+        a = conv1x1("a", 8, 8, y=4, x=4)
+        b = conv1x1("b", 16, 8, y=4, x=4)
+        shapes = _net(a, b, a).unique_shapes()
+        assert [s[0].name for s in shapes] == ["a", "b"]
+
+    def test_across_networks(self, small_layer):
+        net1 = _net(small_layer)
+        net2 = _net(small_layer)
+        combined = unique_layers([net1, net2])
+        assert len(combined) == 1
+        assert combined[0][1] == 2
+
+
+class TestScaled:
+    def test_scales_all_layers(self, small_layer):
+        net = _net(small_layer).scaled(0.5)
+        assert net.layers[0].k == 16
+        assert "w0.5" in net.name

@@ -1,0 +1,137 @@
+"""Unit tests for repro.utils.mathutils."""
+
+import math
+
+import pytest
+
+from repro.utils.mathutils import (
+    ceil_div,
+    clamp,
+    divisors,
+    geomean,
+    nearest_multiple,
+    prod,
+    round_to_stride,
+)
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_one(self):
+        assert ceil_div(1, 100) == 1
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_rejects_zero_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(10, 0)
+
+    def test_rejects_negative_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(10, -2)
+
+
+class TestProd:
+    def test_empty_is_one(self):
+        assert prod([]) == 1
+
+    def test_ints_stay_int(self):
+        result = prod([2, 3, 4])
+        assert result == 24
+        assert isinstance(result, int)
+
+    def test_mixed_floats(self):
+        assert prod([2, 0.5]) == pytest.approx(1.0)
+
+
+class TestClamp:
+    def test_inside_range(self):
+        assert clamp(5, 0, 10) == 5
+
+    def test_below(self):
+        assert clamp(-3, 0, 10) == 0
+
+    def test_above(self):
+        assert clamp(30, 0, 10) == 10
+
+    def test_inverted_bounds_raise(self):
+        with pytest.raises(ValueError):
+            clamp(5, 10, 0)
+
+
+class TestGeomean:
+    def test_single_value(self):
+        assert geomean([7.0]) == pytest.approx(7.0)
+
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_order_invariant(self):
+        assert geomean([2, 8, 4]) == pytest.approx(geomean([8, 4, 2]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_large_values_no_overflow(self):
+        result = geomean([1e300, 1e300])
+        assert math.isfinite(result)
+        assert result == pytest.approx(1e300, rel=1e-6)
+
+
+class TestDivisors:
+    def test_prime(self):
+        assert divisors(7) == [1, 7]
+
+    def test_composite_sorted(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+
+    def test_square(self):
+        assert divisors(16) == [1, 2, 4, 8, 16]
+
+    def test_one(self):
+        assert divisors(1) == [1]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+
+
+class TestRoundToStride:
+    def test_snaps_to_multiple(self):
+        assert round_to_stride(13, 8, 8) == 16
+
+    def test_respects_minimum(self):
+        assert round_to_stride(1, 8, 8) == 8
+
+    def test_exact_value(self):
+        assert round_to_stride(24, 8, 8) == 24
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            round_to_stride(10, 0, 1)
+
+
+class TestNearestMultiple:
+    def test_rounds_up(self):
+        assert nearest_multiple(13, 8) == 16
+
+    def test_exact(self):
+        assert nearest_multiple(16, 8) == 16
+
+    def test_minimum_is_base(self):
+        assert nearest_multiple(0, 8) == 8
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            nearest_multiple(5, 0)

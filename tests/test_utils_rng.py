@@ -1,0 +1,46 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_from_int_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(5)
+        b = ensure_rng(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_children_are_independent(self):
+        parent = ensure_rng(7)
+        children = spawn_rngs(parent, 2)
+        a = children[0].random(100)
+        b = children[1].random(100)
+        assert not np.allclose(a, b)
+
+    def test_deterministic_given_parent_seed(self):
+        a = spawn_rngs(ensure_rng(5), 3)[2].random(4)
+        b = spawn_rngs(ensure_rng(5), 3)[2].random(4)
+        assert np.allclose(a, b)
+
+    def test_count_zero(self):
+        assert spawn_rngs(ensure_rng(0), 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(ensure_rng(0), -1)

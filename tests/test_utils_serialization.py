@@ -1,0 +1,50 @@
+"""Unit tests for repro.utils.serialization."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.accelerator.presets import baseline_preset
+from repro.tensors.dims import Dim
+from repro.utils.serialization import dump_json, load_json, to_jsonable
+
+
+@dataclasses.dataclass
+class _Sample:
+    name: str
+    values: tuple
+
+
+class TestToJsonable:
+    def test_dataclass(self):
+        out = to_jsonable(_Sample(name="x", values=(1, 2)))
+        assert out == {"name": "x", "values": [1, 2]}
+
+    def test_numpy_array(self):
+        assert to_jsonable(np.array([1.5, 2.5])) == [1.5, 2.5]
+
+    def test_numpy_scalar(self):
+        assert to_jsonable(np.int64(7)) == 7
+
+    def test_enum_uses_name(self):
+        assert to_jsonable(Dim.K) == "K"
+
+    def test_nested_dict(self):
+        assert to_jsonable({"a": (1, 2)}) == {"a": [1, 2]}
+
+    def test_accelerator_config_serializes(self):
+        out = to_jsonable(baseline_preset("eyeriss"))
+        assert out["l2_bytes"] == 108 * 1024
+        assert out["parallel_dims"] == ["R", "Y"]
+
+    def test_unserializable_raises(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+
+class TestRoundTrip:
+    def test_dump_and_load(self, tmp_path):
+        path = tmp_path / "out" / "config.json"
+        dump_json({"k": [1, 2, 3]}, path)
+        assert load_json(path) == {"k": [1, 2, 3]}

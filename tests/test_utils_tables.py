@@ -1,0 +1,58 @@
+"""Unit tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_cell, render_markdown_table, render_table
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_int_plain(self):
+        assert format_cell(42) == "42"
+
+    def test_float_compact(self):
+        assert format_cell(3.14159) == "3.14"
+
+    def test_large_float_scientific(self):
+        assert "e" in format_cell(2.5e12)
+
+    def test_tiny_float_scientific(self):
+        assert "e" in format_cell(2.5e-7)
+
+    def test_zero(self):
+        assert format_cell(0.0) == "0"
+
+    def test_string_passthrough(self):
+        assert format_cell("hello") == "hello"
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        out = render_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = out.split("\n")
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert set(lines[1].replace("  ", " ")) <= {"-", " "}
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestRenderMarkdown:
+    def test_pipe_structure(self):
+        out = render_markdown_table(["x", "y"], [[1, 2]])
+        lines = out.split("\n")
+        assert lines[0] == "| x | y |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_markdown_table(["a"], [[1, 2]])
