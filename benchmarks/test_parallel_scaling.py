@@ -1,0 +1,75 @@
+"""Bench: the parallel evaluation engine vs. the serial search path.
+
+Runs the same NAAS hardware search with ``workers=1`` and ``workers=2``
+and verifies the determinism contract (bit-identical best reward and
+config) while recording both wall-clocks. On multi-core machines the
+parallel path approaches generation-level linear speedup; constrained CI
+boxes (this suite tolerates a single core) only get the correctness
+check plus a bounded-overhead assertion, since there is no parallel
+hardware for the fan-out to exploit.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.accelerator.presets import baseline_constraint
+from repro.cost.model import CostModel
+from repro.search.accelerator_search import NAASBudget, search_accelerator
+from repro.search.mapping_search import MappingSearchBudget
+from repro.tensors.layer import ConvLayer
+from repro.tensors.network import Network
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Mid-size budget: enough mapping searches per generation for the
+#: fan-out to amortize process overhead, small enough for CI.
+BUDGET = NAASBudget(accel_population=8, accel_iterations=3,
+                    mapping=MappingSearchBudget(population=6, iterations=3))
+
+NETWORK = Network(name="bench", layers=(
+    ConvLayer(name="stem", k=32, c=16, y=28, x=28, r=3, s=3),
+    ConvLayer(name="mid", k=64, c=32, y=14, x=14, r=3, s=3),
+    ConvLayer(name="head", k=128, c=64, y=7, x=7, r=1, s=1),
+))
+
+
+def _run(workers: int):
+    start = time.perf_counter()
+    result = search_accelerator(
+        [NETWORK], baseline_constraint("nvdla_256"), CostModel(),
+        budget=BUDGET, seed=0, workers=workers)
+    return result, time.perf_counter() - start
+
+
+def test_parallel_scaling(benchmark):
+    serial, serial_time = _run(workers=1)
+
+    result_box = {}
+
+    def target():
+        result_box["outcome"] = _run(workers=2)
+        return result_box["outcome"]
+
+    benchmark.pedantic(target, rounds=1, iterations=1)
+    parallel, parallel_time = result_box["outcome"]
+
+    # Determinism contract: the worker count must never change results.
+    assert parallel.best_reward == serial.best_reward
+    assert parallel.best_config == serial.best_config
+    assert parallel.history == serial.history
+
+    speedup = serial_time / parallel_time if parallel_time else float("inf")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "parallel_scaling.txt").write_text(
+        f"serial (workers=1) : {serial_time:8.3f} s\n"
+        f"parallel (workers=2): {parallel_time:8.3f} s\n"
+        f"speedup             : {speedup:8.2f}x\n"
+        f"best reward         : {serial.best_reward:.6e}\n")
+    print(f"\nserial {serial_time:.3f}s  parallel {parallel_time:.3f}s  "
+          f"speedup {speedup:.2f}x")
+
+    # Loose bound: even with one core and snapshot pickling, the fan-out
+    # must not blow up the generation wall-clock.
+    assert parallel_time < serial_time * 3.0

@@ -103,7 +103,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
     result = search_accelerator(
         [network], baseline_constraint(args.preset), cost_model,
-        budget=profile.naas, seed=args.seed, seed_configs=[preset])
+        budget=profile.naas, seed=args.seed, seed_configs=[preset],
+        workers=args.workers)
     if not result.found:
         print("search found no valid design", file=sys.stderr)
         return 1
@@ -157,6 +158,10 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--profile", default="",
                         help="budget profile (quick/full/paper)")
     search.add_argument("--seed", type=int, default=0)
+    search.add_argument("--workers", type=int, default=1,
+                        help="parallel evaluation processes "
+                             "(0 = all cores; results are identical "
+                             "for any worker count)")
     search.add_argument("--output", help="write best design JSON here")
 
     experiment = sub.add_parser("experiment",

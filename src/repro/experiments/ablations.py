@@ -34,9 +34,15 @@ SCENARIO_NETWORK = "mobilenet_v2"
 
 
 def run_seeding_ablation(profile: str = "", seed: int = 0) -> ExperimentResult:
-    """NAAS with vs without the baseline-preset warm start."""
+    """NAAS with vs without the baseline-preset warm start.
+
+    A *paired* comparison: both variants run from the same seed, so their
+    first generations share every sampled candidate and differ only in
+    the warm-start injection. This isolates the seeding effect from
+    population luck (disjoint streams made the claim a coin flip).
+    """
     budgets = get_profile(profile)
-    rng = ensure_rng(seed)
+    run_seed = int(ensure_rng(seed).integers(2**31))
     cost_model = CostModel()
     network = build_model(SCENARIO_NETWORK)
     constraint = baseline_constraint(SCENARIO_PRESET)
@@ -44,10 +50,10 @@ def run_seeding_ablation(profile: str = "", seed: int = 0) -> ExperimentResult:
 
     with Stopwatch() as watch:
         seeded = search_accelerator([network], constraint, cost_model,
-                                    budget=budgets.naas, seed=rng,
+                                    budget=budgets.naas, seed=run_seed,
                                     seed_configs=[preset])
         cold = search_accelerator([network], constraint, cost_model,
-                                  budget=budgets.naas, seed=rng)
+                                  budget=budgets.naas, seed=run_seed)
 
     rows = [
         ("seeded with preset", seeded.best_reward,

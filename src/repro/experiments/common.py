@@ -2,17 +2,21 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.accelerator.arch import AcceleratorConfig
 from repro.accelerator.presets import baseline_constraint, baseline_preset
 from repro.cost.model import CostModel
 from repro.cost.report import NetworkCost
 from repro.mapping.builders import dataflow_preserving_mapping
 from repro.search.accelerator_search import evaluate_accelerator
+from repro.search.cache import EvaluationCache
 from repro.search.mapping_search import MappingSearchBudget
+from repro.search.parallel import ParallelEvaluator
 from repro.tensors.network import Network
 from repro.utils.mathutils import geomean
-from repro.utils.rng import SeedLike
+from repro.utils.rng import SeedLike, seed_entropy
 
 
 def baseline_costs(preset_name: str,
@@ -35,21 +39,50 @@ def baseline_costs(preset_name: str,
     return costs
 
 
+@dataclasses.dataclass(frozen=True)
+class _NetworkTask:
+    """Picklable payload: tune one network's mappings on a preset."""
+
+    preset: AcceleratorConfig
+    network: Network
+    cost_model: CostModel
+    mapping_budget: MappingSearchBudget
+    entropy: int
+
+
+def _tune_network(task: _NetworkTask,
+                  cache: Optional[EvaluationCache]) -> Optional[NetworkCost]:
+    _, costs, _ = evaluate_accelerator(
+        task.preset, [task.network], task.cost_model, task.mapping_budget,
+        seed=task.entropy, cache=cache)
+    return costs.get(task.network.name)
+
+
 def tuned_baseline_costs(preset_name: str,
                          networks: Sequence[Network],
                          cost_model: CostModel,
                          mapping_budget: MappingSearchBudget,
                          seed: SeedLike = None,
+                         workers: int = 1,
                          ) -> Dict[str, NetworkCost]:
     """Per-network cost of a baseline preset with *searched* mappings.
 
     A stronger (conservative) baseline than :func:`baseline_costs`: the
     preset gets the same mapping-search budget as NAAS candidates.
+    Networks are independent, so ``workers`` fans them out in parallel;
+    unmappable networks are omitted from the result.
     """
     preset = baseline_preset(preset_name)
-    _, costs, _ = evaluate_accelerator(
-        preset, networks, cost_model, mapping_budget, seed=seed)
-    return costs
+    entropy = seed_entropy(seed)
+    tasks = [_NetworkTask(preset=preset, network=network,
+                          cost_model=cost_model,
+                          mapping_budget=mapping_budget, entropy=entropy)
+             for network in networks]
+    with ParallelEvaluator(_tune_network, workers=workers,
+                           cache=EvaluationCache()) as evaluator:
+        outcomes = evaluator.evaluate(tasks)
+    return {network.name: cost
+            for network, cost in zip(networks, outcomes) if cost is not None}
 
 
 def gain_rows(baseline: Dict[str, NetworkCost],

@@ -18,16 +18,16 @@ from repro.cost.model import CostModel
 from repro.cost.report import NetworkCost
 from repro.encoding.hardware import HardwareEncoder
 from repro.encoding.spaces import EncodingStyle
-from repro.errors import EncodingError
 from repro.nas.accuracy import AccuracyPredictor
 from repro.nas.ofa_space import ResNetArch
 from repro.nas.search import NASBudget, NASResult, search_architecture
 from repro.search.cache import EvaluationCache
 from repro.search.es import EvolutionEngine
 from repro.search.mapping_search import MappingSearchBudget
+from repro.search.parallel import ParallelEvaluator, ask_generation
 from repro.search.result import IterationStats
 from repro.utils.logging import get_logger
-from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+from repro.utils.rng import SeedLike, ensure_rng
 
 logger = get_logger(__name__)
 
@@ -60,6 +60,32 @@ class JointSearchResult:
         return self.best_config is not None and self.best_arch is not None
 
 
+@dataclasses.dataclass(frozen=True)
+class _JointTask:
+    """Picklable payload: one per-candidate inner NAS run."""
+
+    config: AcceleratorConfig
+    cost_model: CostModel
+    accuracy_floor: float
+    nas_budget: NASBudget
+    mapping_budget: MappingSearchBudget
+    entropy: int
+    predictor: AccuracyPredictor
+
+
+def _evaluate_joint_candidate(task: _JointTask,
+                              cache: Optional[EvaluationCache]) -> NASResult:
+    """ParallelEvaluator worker: run the inner NAS for one candidate.
+
+    The inner run stays serial (``workers=1``) — parallelism lives at the
+    hardware-candidate level, so worker processes never nest pools.
+    """
+    return search_architecture(
+        task.config, task.cost_model, task.accuracy_floor,
+        budget=task.nas_budget, mapping_budget=task.mapping_budget,
+        seed=task.entropy, predictor=task.predictor, cache=cache, workers=1)
+
+
 def search_joint(constraint: ResourceConstraint,
                  cost_model: CostModel,
                  accuracy_floor: float,
@@ -67,8 +93,14 @@ def search_joint(constraint: ResourceConstraint,
                  seed: SeedLike = None,
                  predictor: Optional[AccuracyPredictor] = None,
                  seed_configs: Tuple[AcceleratorConfig, ...] = (),
+                 workers: int = 1,
                  ) -> JointSearchResult:
-    """Run the joint NAAS+NAS search under a resource constraint."""
+    """Run the joint NAAS+NAS search under a resource constraint.
+
+    ``workers`` parallelizes across hardware candidates: each candidate's
+    whole inner NAS run is one work item, the coarsest (and therefore
+    best-amortized) unit of the three-level search.
+    """
     rng = ensure_rng(seed)
     predictor = predictor or AccuracyPredictor()
     encoder = HardwareEncoder(constraint, style=EncodingStyle.IMPORTANCE)
@@ -81,50 +113,41 @@ def search_joint(constraint: ResourceConstraint,
     hw_evals = 0
     net_evals = 0
     injected = [encoder.encode(config) for config in seed_configs]
+    population = budget.accel_population
 
-    for iteration in range(budget.accel_iterations):
-        vectors = []
-        fitnesses = []
-        valid = 0
-        for member in range(budget.accel_population):
-            if iteration == 0 and member < len(injected):
-                vector = injected[member]
-            else:
-                vector = engine.sample()
-            config = None
-            for _ in range(32):
-                try:
-                    config = encoder.decode(
-                        vector, name=f"joint-g{iteration}m{member}")
-                    break
-                except EncodingError:
-                    vector = engine.sample()
-            vectors.append(vector)
-            if config is None:
-                fitnesses.append(math.inf)
-                continue
-            nas_result = search_architecture(
-                config, cost_model, accuracy_floor,
-                budget=budget.nas, mapping_budget=budget.mapping,
-                seed=spawn_rngs(rng, 1)[0], predictor=predictor, cache=cache)
-            hw_evals += 1
-            net_evals += nas_result.evaluations
-            fitnesses.append(nas_result.best_edp)
-            if math.isfinite(nas_result.best_edp):
-                valid += 1
-                if nas_result.best_edp < best_edp:
+    with ParallelEvaluator(_evaluate_joint_candidate, workers=workers,
+                           cache=cache) as evaluator:
+        for iteration in range(budget.accel_iterations):
+            vectors, configs, entropies = ask_generation(
+                engine, encoder, population, iteration, injected, rng,
+                name_prefix="joint")
+            tasks = []
+            task_members = []
+            for member, config in enumerate(configs):
+                if config is None:
+                    continue
+                tasks.append(_JointTask(
+                    config=config, cost_model=cost_model,
+                    accuracy_floor=accuracy_floor, nas_budget=budget.nas,
+                    mapping_budget=budget.mapping,
+                    entropy=entropies[member],
+                    predictor=predictor))
+                task_members.append(member)
+            nas_results = evaluator.evaluate(tasks)
+
+            fitnesses = [math.inf] * population
+            for member, nas_result in zip(task_members, nas_results):
+                hw_evals += 1
+                net_evals += nas_result.evaluations
+                fitnesses[member] = nas_result.best_edp
+                if (math.isfinite(nas_result.best_edp)
+                        and nas_result.best_edp < best_edp):
                     best_edp = nas_result.best_edp
-                    best = (config, nas_result)
-        engine.update(vectors, fitnesses)
-        finite = [f for f in fitnesses if math.isfinite(f)]
-        history.append(IterationStats(
-            iteration=iteration,
-            best_fitness=min(finite) if finite else math.inf,
-            mean_fitness=sum(finite) / len(finite) if finite else math.inf,
-            valid_count=valid,
-            population=budget.accel_population,
-        ))
-        logger.info("joint iter %d best EDP %.3e", iteration, best_edp)
+                    best = (configs[member], nas_result)
+            engine.tell(vectors, fitnesses)
+            history.append(IterationStats.from_fitnesses(
+                iteration, fitnesses, population))
+            logger.info("joint iter %d best EDP %.3e", iteration, best_edp)
 
     if best is None:
         return JointSearchResult(

@@ -21,9 +21,10 @@ from repro.nas.subnet import build_subnet
 from repro.search.accelerator_search import evaluate_accelerator
 from repro.search.cache import EvaluationCache
 from repro.search.mapping_search import MappingSearchBudget
+from repro.search.parallel import ParallelEvaluator
 from repro.search.result import IterationStats
 from repro.utils.logging import get_logger
-from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+from repro.utils.rng import SeedLike, ensure_rng, seed_entropy
 
 logger = get_logger(__name__)
 
@@ -60,6 +61,27 @@ class NASResult:
         return self.best_arch is not None
 
 
+@dataclasses.dataclass(frozen=True)
+class _ArchTask:
+    """Picklable payload for one subnet evaluation."""
+
+    arch: ResNetArch
+    accel: AcceleratorConfig
+    cost_model: CostModel
+    mapping_budget: MappingSearchBudget
+    entropy: int
+
+
+def _evaluate_arch(task: _ArchTask, cache: Optional[EvaluationCache],
+                   ) -> Tuple[float, Optional[NetworkCost]]:
+    """ParallelEvaluator worker: mapping-searched EDP of one subnet."""
+    network = build_subnet(task.arch)
+    reward, costs, _ = evaluate_accelerator(
+        task.accel, [network], task.cost_model, task.mapping_budget,
+        seed=task.entropy, cache=cache)
+    return reward, costs.get(network.name)
+
+
 def search_architecture(accel: AcceleratorConfig,
                         cost_model: CostModel,
                         accuracy_floor: float,
@@ -68,12 +90,23 @@ def search_architecture(accel: AcceleratorConfig,
                         seed: SeedLike = None,
                         predictor: Optional[AccuracyPredictor] = None,
                         cache: Optional[EvaluationCache] = None,
+                        workers: int = 1,
                         ) -> NASResult:
-    """Find the lowest-EDP subnet meeting ``accuracy_floor`` on ``accel``."""
+    """Find the lowest-EDP subnet meeting ``accuracy_floor`` on ``accel``.
+
+    ``workers`` fans each generation's subnet evaluations out over that
+    many processes; the result is identical for any worker count because
+    all mapping searches are seeded from one run-level entropy via their
+    cache key (see :mod:`repro.search.parallel`).
+    """
     rng = ensure_rng(seed)
     space = OFAResNetSpace()
     predictor = predictor or AccuracyPredictor()
     cache = cache if cache is not None else EvaluationCache()
+    # One entropy for the whole NAS run: every evaluate_accelerator call
+    # sharing this cache derives mapping seeds the same way, so cache
+    # hits across architectures cannot change results.
+    eval_entropy = seed_entropy(rng)
 
     def sample_admissible(max_attempts: int = 64) -> Optional[ResNetArch]:
         for _ in range(max_attempts):
@@ -89,13 +122,6 @@ def search_architecture(accel: AcceleratorConfig,
                 return arch
         largest = space.largest()
         return largest if predictor(largest) >= accuracy_floor else None
-
-    def evaluate(arch: ResNetArch) -> Tuple[float, Optional[NetworkCost]]:
-        network = build_subnet(arch)
-        reward, costs, _ = evaluate_accelerator(
-            accel, [network], cost_model, mapping_budget,
-            seed=spawn_rngs(rng, 1)[0], cache=cache)
-        return reward, costs.get(network.name)
 
     population: List[ResNetArch] = []
     while len(population) < budget.population:
@@ -113,47 +139,52 @@ def search_architecture(accel: AcceleratorConfig,
     history: List[IterationStats] = []
     evaluations = 0
 
-    for iteration in range(budget.iterations):
-        fitnesses = []
-        for arch in population:
-            edp, cost = evaluate(arch)
-            evaluations += 1
-            fitnesses.append(edp)
-            if edp < best_edp:
-                best_edp = edp
-                best_arch = arch
-                best_cost = cost
-        finite = [f for f in fitnesses if math.isfinite(f)]
-        history.append(IterationStats(
-            iteration=iteration,
-            best_fitness=min(finite) if finite else math.inf,
-            mean_fitness=sum(finite) / len(finite) if finite else math.inf,
-            valid_count=len(finite),
-            population=len(population),
-        ))
-        if iteration == budget.iterations - 1:
-            break
+    evaluator = ParallelEvaluator(_evaluate_arch, workers=workers,
+                                  cache=cache)
+    try:
+        for iteration in range(budget.iterations):
+            tasks = [_ArchTask(arch=arch, accel=accel, cost_model=cost_model,
+                               mapping_budget=mapping_budget,
+                               entropy=eval_entropy)
+                     for arch in population]
+            outcomes = evaluator.evaluate(tasks)
+            fitnesses = []
+            for arch, (edp, cost) in zip(population, outcomes):
+                evaluations += 1
+                fitnesses.append(edp)
+                if edp < best_edp:
+                    best_edp = edp
+                    best_arch = arch
+                    best_cost = cost
+            history.append(IterationStats.from_fitnesses(
+                iteration, fitnesses, len(population)))
+            if iteration == budget.iterations - 1:
+                break
 
-        ranked = sorted(zip(fitnesses, range(len(population))),
-                        key=lambda pair: pair[0])
-        parent_count = max(2, int(round(len(population) * budget.parent_fraction)))
-        parents = [population[i] for _, i in ranked[:parent_count]]
-        next_population: List[ResNetArch] = list(parents)
-        while len(next_population) < budget.population:
-            if rng.random() < budget.mutation_fraction:
-                parent = parents[int(rng.integers(len(parents)))]
-                child = space.mutate(parent, budget.mutation_rate, seed=rng)
-            else:
-                a, b = rng.integers(len(parents)), rng.integers(len(parents))
-                child = space.crossover(parents[int(a)], parents[int(b)], seed=rng)
-            if predictor(child) >= accuracy_floor:
-                next_population.append(child)
-            else:
-                fallback = sample_admissible(max_attempts=16)
-                if fallback is not None:
-                    next_population.append(fallback)
-        population = next_population
-        logger.debug("NAS iter %d best EDP %.3e", iteration, best_edp)
+            ranked = sorted(zip(fitnesses, range(len(population))),
+                            key=lambda pair: pair[0])
+            parent_count = max(
+                2, int(round(len(population) * budget.parent_fraction)))
+            parents = [population[i] for _, i in ranked[:parent_count]]
+            next_population: List[ResNetArch] = list(parents)
+            while len(next_population) < budget.population:
+                if rng.random() < budget.mutation_fraction:
+                    parent = parents[int(rng.integers(len(parents)))]
+                    child = space.mutate(parent, budget.mutation_rate, seed=rng)
+                else:
+                    a, b = rng.integers(len(parents)), rng.integers(len(parents))
+                    child = space.crossover(
+                        parents[int(a)], parents[int(b)], seed=rng)
+                if predictor(child) >= accuracy_floor:
+                    next_population.append(child)
+                else:
+                    fallback = sample_admissible(max_attempts=16)
+                    if fallback is not None:
+                        next_population.append(fallback)
+            population = next_population
+            logger.debug("NAS iter %d best EDP %.3e", iteration, best_edp)
+    finally:
+        evaluator.close()
 
     best_accuracy = predictor(best_arch) if best_arch else 0.0
     return NASResult(best_arch=best_arch, best_cost=best_cost,

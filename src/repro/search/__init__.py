@@ -8,11 +8,15 @@
   loop orders and tilings.
 - :mod:`repro.search.accelerator_search` — the outer loop (§II-A): the
   full NAAS hardware search with nested mapping search.
+- :mod:`repro.search.parallel` — the batched ask/tell evaluation engine
+  that fans candidate evaluations out over worker processes.
 """
 
 from repro.search.accelerator_search import NAASBudget, search_accelerator
+from repro.search.cache import EvaluationCache
 from repro.search.es import EvolutionEngine
 from repro.search.mapping_search import MappingSearchBudget, search_mapping
+from repro.search.parallel import ParallelEvaluator, resolve_workers
 from repro.search.random_search import RandomEngine
 from repro.search.result import (
     AcceleratorSearchResult,
@@ -22,12 +26,15 @@ from repro.search.result import (
 
 __all__ = [
     "AcceleratorSearchResult",
+    "EvaluationCache",
     "EvolutionEngine",
     "IterationStats",
     "MappingSearchBudget",
     "MappingSearchResult",
     "NAASBudget",
+    "ParallelEvaluator",
     "RandomEngine",
+    "resolve_workers",
     "search_accelerator",
     "search_mapping",
 ]

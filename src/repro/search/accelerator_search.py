@@ -5,6 +5,12 @@ for every unique layer of every benchmark network and aggregating the
 resulting per-network EDPs (geomean). Candidates violating the resource
 constraint are rejected at decode time and re-sampled, exactly as the
 paper describes.
+
+The generation loop follows the batched ask/tell protocol: the whole
+population is sampled and decoded up front, per-candidate seeds are
+derived in one batch, and the candidate evaluations are fanned out
+through :class:`repro.search.parallel.ParallelEvaluator` (``workers=1``
+reproduces the serial path bit-identically).
 """
 
 from __future__ import annotations
@@ -19,12 +25,12 @@ from repro.cost.model import CostModel
 from repro.cost.report import NetworkCost
 from repro.encoding.hardware import HardwareEncoder
 from repro.encoding.spaces import EncodingStyle
-from repro.errors import EncodingError
 from repro.mapping.mapping import Mapping
 from repro.search.cache import EvaluationCache
 from repro.search.es import EvolutionEngine
 from repro.search.mapping_search import MappingSearchBudget, search_mapping
 from repro.search.objectives import RewardFn, geomean_edp
+from repro.search.parallel import ParallelEvaluator, ask_generation
 from repro.search.result import (
     AcceleratorSearchResult,
     IterationStats,
@@ -32,7 +38,7 @@ from repro.search.result import (
 )
 from repro.tensors.network import Network, shape_key
 from repro.utils.logging import get_logger
-from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+from repro.utils.rng import SeedLike, derive_seed, ensure_rng, seed_entropy
 
 logger = get_logger(__name__)
 
@@ -66,19 +72,35 @@ def evaluate_accelerator(accel: AcceleratorConfig,
     Returns ``(reward, {network -> NetworkCost}, {layer -> Mapping})``.
     The mapping search runs once per unique layer shape; results are
     memoized on ``(accel, shape)`` across calls when a cache is supplied.
+    Every layer of a shape group gets a ``best_mappings`` entry (not just
+    the representative), so the table can be replayed through
+    :meth:`repro.cost.model.CostModel.evaluate_with_mappings` directly.
+
+    A network with any unmappable layer makes the whole candidate
+    infeasible: the reward is ``math.inf`` and the partial network is
+    *omitted* from the returned costs (it never reaches ``reward_fn``).
+
+    Each per-shape mapping search is seeded with
+    ``derive_seed(entropy, key)`` where ``entropy`` collapses ``seed``;
+    results therefore depend only on what is evaluated, never on cache
+    state or evaluation order — the invariant that keeps serial and
+    parallel search runs bit-identical.
     """
-    rng = ensure_rng(seed)
+    entropy = seed_entropy(seed)
     network_costs: Dict[str, NetworkCost] = {}
     best_mappings: Dict[str, Mapping] = {}
+    feasible = True
     for network in networks:
         layer_costs = []
+        shape_mappings: Dict[tuple, Mapping] = {}
+        mappable = True
         for layer, count in network.unique_shapes():
             key = (accel, shape_key(layer), mapping_style)
 
-            def run_search(layer=layer) -> MappingSearchResult:
+            def run_search(layer=layer, key=key) -> MappingSearchResult:
                 return search_mapping(
                     layer, accel, cost_model, budget=mapping_budget,
-                    seed=spawn_rngs(rng, 1)[0], style=mapping_style)
+                    seed=derive_seed(entropy, key), style=mapping_style)
 
             if cache is None:
                 result = run_search()
@@ -86,20 +108,46 @@ def evaluate_accelerator(accel: AcceleratorConfig,
                 result = cache.get_or_compute(key, run_search)
             if not result.found:
                 logger.debug("no mapping for %s on %s", layer.name, accel.name)
-                network_costs[network.name] = NetworkCost(
-                    network_name=network.name, layer_costs=())
+                mappable = False
+                feasible = False
                 break
-            best_mappings[layer.name] = result.best_mapping
+            shape_mappings[shape_key(layer)] = result.best_mapping
             for _ in range(count):
                 layer_costs.append(result.best_cost)
-        else:
+        for layer in network:
+            mapping = shape_mappings.get(shape_key(layer))
+            if mapping is not None:
+                best_mappings[layer.name] = mapping
+        if mappable:
             network_costs[network.name] = NetworkCost(
                 network_name=network.name, layer_costs=tuple(layer_costs))
-    reward = reward_fn([network_costs[n.name] for n in networks
-                        if n.name in network_costs])
-    if len(network_costs) < len(networks):
-        reward = math.inf
+    if not feasible:
+        return math.inf, network_costs, best_mappings
+    reward = reward_fn([network_costs[n.name] for n in networks])
     return reward, network_costs, best_mappings
+
+
+@dataclasses.dataclass(frozen=True)
+class _CandidateTask:
+    """Picklable payload for one accelerator evaluation."""
+
+    accel: AcceleratorConfig
+    networks: Tuple[Network, ...]
+    cost_model: CostModel
+    mapping_budget: MappingSearchBudget
+    entropy: int
+    mapping_style: EncodingStyle
+    reward_fn: RewardFn
+
+
+def _evaluate_candidate(task: _CandidateTask,
+                        cache: Optional[EvaluationCache],
+                        ) -> Tuple[float, Dict[str, NetworkCost], Dict[str, Mapping]]:
+    """ParallelEvaluator worker: score one decoded candidate."""
+    return evaluate_accelerator(
+        task.accel, task.networks, task.cost_model, task.mapping_budget,
+        seed=task.entropy, mapping_style=task.mapping_style, cache=cache,
+        reward_fn=task.reward_fn)
 
 
 def search_accelerator(networks: Sequence[Network],
@@ -113,16 +161,21 @@ def search_accelerator(networks: Sequence[Network],
                        engine_cls: Type = EvolutionEngine,
                        max_decode_attempts: int = 32,
                        reward_fn: RewardFn = geomean_edp,
+                       workers: int = 1,
                        ) -> AcceleratorSearchResult:
     """Run the full NAAS hardware search under a resource constraint.
 
     ``seed_configs`` are encoded and injected into the first generation,
     letting the search warm-start from (e.g.) the baseline preset.
+    ``workers`` fans each generation's candidate evaluations out over
+    that many processes (0 = all cores); any worker count returns the
+    same result for the same seed.
     """
     rng = ensure_rng(seed)
     encoder = HardwareEncoder(constraint, style=hardware_style)
     engine = engine_cls(encoder.num_params, seed=rng)
     cache = EvaluationCache()
+    networks = tuple(networks)
 
     best_config: Optional[AcceleratorConfig] = None
     best_reward = math.inf
@@ -132,52 +185,46 @@ def search_accelerator(networks: Sequence[Network],
     evaluations = 0
 
     injected = [encoder.encode(config) for config in seed_configs]
+    population = budget.accel_population
 
-    for iteration in range(budget.accel_iterations):
-        vectors = []
-        fitnesses = []
-        valid = 0
-        for member in range(budget.accel_population):
-            if iteration == 0 and member < len(injected):
-                vector = injected[member]
-            else:
-                vector = engine.sample()
-            config = None
-            for _ in range(max_decode_attempts):
-                try:
-                    config = encoder.decode(
-                        vector, name=f"naas-g{iteration}m{member}")
-                    break
-                except EncodingError:
-                    vector = engine.sample()
-            vectors.append(vector)
-            if config is None:
-                fitnesses.append(math.inf)
-                continue
-            reward, costs, maps = evaluate_accelerator(
-                config, networks, cost_model, budget.mapping,
-                seed=spawn_rngs(rng, 1)[0], mapping_style=mapping_style,
-                cache=cache, reward_fn=reward_fn)
-            evaluations += 1
-            fitnesses.append(reward)
-            if math.isfinite(reward):
-                valid += 1
-                if reward < best_reward:
+    with ParallelEvaluator(_evaluate_candidate, workers=workers,
+                           cache=cache) as evaluator:
+        for iteration in range(budget.accel_iterations):
+            vectors, configs, entropies = ask_generation(
+                engine, encoder, population, iteration, injected, rng,
+                max_decode_attempts=max_decode_attempts,
+                name_prefix="naas")
+            tasks = []
+            task_members = []
+            for member, config in enumerate(configs):
+                if config is None:
+                    continue
+                tasks.append(_CandidateTask(
+                    accel=config, networks=networks, cost_model=cost_model,
+                    mapping_budget=budget.mapping,
+                    entropy=entropies[member],
+                    mapping_style=mapping_style, reward_fn=reward_fn))
+                task_members.append(member)
+            outcomes = evaluator.evaluate(tasks)
+            evaluations += len(tasks)
+
+            # Tell: fold the batch back in submission order (ties keep
+            # the earliest candidate, matching the serial loop).
+            fitnesses = [math.inf] * population
+            for member, (reward, costs, maps) in zip(task_members, outcomes):
+                fitnesses[member] = reward
+                if math.isfinite(reward) and reward < best_reward:
                     best_reward = reward
-                    best_config = config
+                    best_config = configs[member]
                     best_costs = costs
                     best_maps = maps
-        engine.update(vectors, fitnesses)
-        finite = [f for f in fitnesses if math.isfinite(f)]
-        history.append(IterationStats(
-            iteration=iteration,
-            best_fitness=min(finite) if finite else math.inf,
-            mean_fitness=sum(finite) / len(finite) if finite else math.inf,
-            valid_count=valid,
-            population=budget.accel_population,
-        ))
-        logger.info("NAAS iter %d: best reward %.3e (%d/%d valid)",
-                    iteration, best_reward, valid, budget.accel_population)
+            engine.tell(vectors, fitnesses)
+            stats = IterationStats.from_fitnesses(
+                iteration, fitnesses, population)
+            history.append(stats)
+            logger.info("NAAS iter %d: best reward %.3e (%d/%d valid)",
+                        iteration, best_reward, stats.valid_count,
+                        population)
 
     return AcceleratorSearchResult(
         best_config=best_config,

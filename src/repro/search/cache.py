@@ -36,6 +36,57 @@ class EvaluationCache:
             self._store.popitem(last=False)
         return value
 
+    def snapshot(self) -> "EvaluationCache":
+        """Independent copy of the entries with zeroed counters.
+
+        Workers of the parallel evaluator each receive a snapshot of the
+        generation-start cache; their private hit/miss statistics and new
+        entries are folded back via :meth:`merge` once the generation's
+        batch completes.
+        """
+        clone = EvaluationCache(max_entries=self.max_entries)
+        clone._store = OrderedDict(self._store)
+        return clone
+
+    def keys(self) -> frozenset:
+        """The current key set (used to compute worker deltas)."""
+        return frozenset(self._store)
+
+    def delta_since(self, baseline_keys: frozenset) -> "EvaluationCache":
+        """New cache holding only entries added after ``baseline_keys``.
+
+        Counters are copied, so merging the delta transfers the worker's
+        full hit/miss statistics while shipping only the entries the
+        worker actually computed — the return path of a parallel batch
+        then scales with new work instead of with cumulative cache size.
+        """
+        delta = EvaluationCache(max_entries=self.max_entries)
+        for key, value in self._store.items():
+            if key not in baseline_keys:
+                delta._store[key] = value
+        delta.hits = self.hits
+        delta.misses = self.misses
+        return delta
+
+    def merge(self, other: "EvaluationCache") -> None:
+        """Fold a worker cache back in: adopt new entries, sum counters.
+
+        Entries already present keep their value (first merge wins, which
+        together with content-derived evaluation seeds makes merge order
+        irrelevant to search results) but are refreshed in LRU order.
+        Workers that missed the same key independently each count a miss,
+        so parallel miss totals can exceed serial ones.
+        """
+        for key, value in other._store.items():
+            if key in self._store:
+                self._store.move_to_end(key)
+            else:
+                self._store[key] = value
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+        self.hits += other.hits
+        self.misses += other.misses
+
     def __len__(self) -> int:
         return len(self._store)
 

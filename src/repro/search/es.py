@@ -11,7 +11,7 @@ samples concentrate near them. A variance floor keeps exploration alive.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -55,6 +55,22 @@ class EvolutionEngine:
         z = self.rng.standard_normal(self.num_params)
         return np.clip(self.mean + self._chol @ z, 0.0, 1.0)
 
+    def ask(self, count: int) -> List[np.ndarray]:
+        """Batch-sample ``count`` candidates (ask half of ask/tell).
+
+        Drawing the whole generation before any evaluation decouples the
+        engine's random stream from evaluation order, which is what lets
+        the evaluator fan the batch out over worker processes.
+        """
+        if count < 0:
+            raise SearchError(f"ask count must be >= 0, got {count}")
+        return [self.sample() for _ in range(count)]
+
+    def tell(self, candidates: Sequence[np.ndarray],
+             fitnesses: Sequence[float]) -> None:
+        """Report the batch's fitnesses (tell half of ask/tell)."""
+        self.update(candidates, fitnesses)
+
     def update(self, candidates: Sequence[np.ndarray],
                fitnesses: Sequence[float]) -> None:
         """Re-center the distribution on the fittest candidates.
@@ -79,8 +95,14 @@ class EvolutionEngine:
         self.mean = ((1 - self.learning_rate) * self.mean
                      + self.learning_rate * new_mean)
         if elite_count >= 2:
+            # Centering on the elites' own (un-blended) mean estimates the
+            # spread of the selected parents themselves — the quantity the
+            # next generation should concentrate around — rather than the
+            # dispersion about the smoothed search mean. The 1/(n-1)
+            # normalizer is the unbiased sample covariance; the previous
+            # 1/n systematically shrank the step size for small elite sets.
             centered = elites - new_mean
-            elite_cov = centered.T @ centered / elite_count
+            elite_cov = centered.T @ centered / (elite_count - 1)
         else:
             elite_cov = self.cov * 0.5  # single parent: contract
         self.cov = ((1 - self.learning_rate) * self.cov

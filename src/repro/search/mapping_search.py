@@ -78,15 +78,16 @@ def search_mapping(layer: ConvLayer,
     evaluations = 0
 
     for iteration in range(budget.iterations):
-        vectors = []
+        # Ask: the whole generation up front (warm starts take the head
+        # of generation 0), evaluate, then tell the batch back.
+        if iteration == 0 and injected:
+            head = injected[:budget.population]
+            vectors = head + engine.ask(budget.population - len(head))
+        else:
+            vectors = engine.ask(budget.population)
         fitnesses = []
         valid = 0
-        for member in range(budget.population):
-            if iteration == 0 and member < len(injected):
-                vector = injected[member]
-            else:
-                vector = engine.sample()
-            vectors.append(vector)
+        for vector in vectors:
             try:
                 mapping = encoder.decode(vector)
             except EncodingError:
@@ -101,7 +102,7 @@ def search_mapping(layer: ConvLayer,
                     best_edp = cost.edp
                     best_mapping = mapping
                     best_cost = cost
-        engine.update(vectors, fitnesses)
+        engine.tell(vectors, fitnesses)
         finite = [f for f in fitnesses if math.isfinite(f)]
         history.append(IterationStats(
             iteration=iteration,

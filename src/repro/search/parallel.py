@@ -1,0 +1,230 @@
+"""Batched parallel candidate evaluation for the nested NAAS loops.
+
+Every generation of the outer searches is embarrassingly parallel: each
+candidate accelerator (and, in the joint search, each per-candidate NAS
+run) is scored independently. This module provides the fan-out machinery
+the ask/tell refactor plugs into:
+
+- :class:`ParallelEvaluator` maps a batch of payloads over a module-level
+  worker function, either inline (``workers=1``) or across a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.
+- Each worker task receives a :meth:`~repro.search.cache.EvaluationCache.snapshot`
+  of the master cache taken at generation start; worker hit/miss counters
+  and new entries are :meth:`~repro.search.cache.EvaluationCache.merge`-d
+  back after the batch completes.
+
+Determinism contract
+--------------------
+``workers=1`` and ``workers=N`` produce bit-identical search results
+because the search loops uphold two invariants:
+
+1. per-candidate seeds are derived *in batch* (``spawn_rngs``) before any
+   evaluation is dispatched, so the parent stream never observes
+   evaluation order; and
+2. every stochastic sub-search is seeded from
+   :func:`repro.utils.rng.derive_seed` over its cache key, so a cache hit
+   returns exactly what a fresh computation would — cache state (and
+   therefore worker scheduling) can never change a result, only its cost.
+
+Worker functions must be module-level (picklable by qualified name) and
+take ``(payload, cache)``, returning a picklable result.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EncodingError, SearchError
+from repro.search.cache import EvaluationCache
+from repro.utils.logging import get_logger
+from repro.utils.rng import seed_entropy, spawn_rngs
+
+logger = get_logger(__name__)
+
+#: A worker maps ``(payload, cache-or-None)`` to a picklable result.
+WorkerFn = Callable[[Any, Optional[EvaluationCache]], Any]
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a ``--workers`` value: ``None``/``0`` means all cores."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise SearchError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def split_chunks(items: Sequence[Any], parts: int) -> List[List[Any]]:
+    """Split ``items`` into at most ``parts`` contiguous, balanced chunks."""
+    if parts < 1:
+        raise SearchError(f"parts must be >= 1, got {parts}")
+    items = list(items)
+    parts = min(parts, len(items))
+    if parts == 0:
+        return []
+    base, extra = divmod(len(items), parts)
+    chunks: List[List[Any]] = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        chunks.append(items[start:start + size])
+        start += size
+    return chunks
+
+
+def _run_chunk(worker_fn: WorkerFn, payloads: Sequence[Any],
+               cache: Optional[EvaluationCache],
+               ) -> Tuple[List[Any], Optional[EvaluationCache]]:
+    """Evaluate one worker's share of the batch against its private cache.
+
+    Only the *delta* — entries the chunk added on top of its snapshot —
+    travels back for the merge, so return-path serialization scales with
+    new work rather than with cumulative cache size.
+    """
+    if cache is None:
+        return [worker_fn(payload, None) for payload in payloads], None
+    baseline = cache.keys()
+    results = [worker_fn(payload, cache) for payload in payloads]
+    return results, cache.delta_since(baseline)
+
+
+class ParallelEvaluator:
+    """Fans batched candidate evaluations out over worker processes.
+
+    ``workers=1`` evaluates inline against the master cache — no
+    subprocess, no snapshot/merge, no pickling — and is the reference
+    behavior the parallel path must reproduce bit-identically.
+
+    The executor is created lazily on the first parallel batch and must
+    be released with :meth:`close` (or by using the instance as a context
+    manager). Worker processes are recycled across generations; only the
+    cache snapshots travel per batch.
+    """
+
+    def __init__(self, worker_fn: WorkerFn, workers: int = 1,
+                 cache: Optional[EvaluationCache] = None) -> None:
+        self.worker_fn = worker_fn
+        self.workers = resolve_workers(workers)
+        self.cache = cache
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def evaluate(self, payloads: Sequence[Any]) -> List[Any]:
+        """Evaluate a batch, returning results in submission order."""
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        if self.workers > 1:
+            executor = self._ensure_executor()
+            if executor is not None:
+                try:
+                    return self._evaluate_parallel(executor, payloads)
+                except (OSError, BrokenProcessPool) as exc:
+                    # Fork/spawn can also fail at submit time (seccomp,
+                    # cgroup limits), not just at pool construction.
+                    # Content-derived seeds make inline re-evaluation
+                    # return the same results; already-merged chunk
+                    # caches only add valid entries.
+                    logger.warning(
+                        "worker pool failed (%s); evaluating inline", exc)
+                    self._degrade_to_inline()
+        return [self.worker_fn(payload, self.cache)
+                for payload in payloads]
+
+    def _evaluate_parallel(self, executor: ProcessPoolExecutor,
+                           payloads: Sequence[Any]) -> List[Any]:
+        chunks = split_chunks(payloads, self.workers)
+        futures = [
+            executor.submit(
+                _run_chunk, self.worker_fn, chunk,
+                self.cache.snapshot() if self.cache is not None else None)
+            for chunk in chunks
+        ]
+        results: List[Any] = []
+        for future in futures:
+            chunk_results, worker_cache = future.result()
+            results.extend(chunk_results)
+            if self.cache is not None and worker_cache is not None:
+                self.cache.merge(worker_cache)
+        return results
+
+    def _degrade_to_inline(self) -> None:
+        self.workers = 1
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            try:
+                executor.shutdown(wait=False)
+            except Exception:  # broken pools may refuse even shutdown
+                pass
+
+    def _ensure_executor(self) -> Optional[ProcessPoolExecutor]:
+        if self._executor is None:
+            try:
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            except OSError as exc:
+                # Sandboxes without fork/spawn support still get correct
+                # (serial) results; the determinism contract makes the two
+                # paths interchangeable.
+                logger.warning(
+                    "process pool unavailable (%s); evaluating inline", exc)
+                self.workers = 1
+                return None
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *_exc_info: Any) -> None:
+        self.close()
+
+
+def ask_generation(engine: Any, encoder: Any, population: int,
+                   iteration: int, injected: Sequence[np.ndarray],
+                   rng: np.random.Generator,
+                   max_decode_attempts: int = 32,
+                   name_prefix: str = "naas",
+                   ) -> Tuple[List[np.ndarray], List[Optional[Any]], List[int]]:
+    """Ask phase of one batched generation, shared by both outer loops.
+
+    Samples the whole generation up front (warm-start vectors override
+    the head of generation 0), decodes each vector with re-sampling on
+    :class:`~repro.errors.EncodingError`, and batch-derives one
+    evaluation entropy per member *before* anything is dispatched so the
+    parent stream never observes evaluation order.
+
+    Returns ``(vectors, configs, entropies)`` — ``configs[i]`` is
+    ``None`` when no valid decode was found within
+    ``max_decode_attempts``; ``entropies[i]`` seeds member ``i``'s
+    evaluation.
+    """
+    if iteration == 0 and injected:
+        head = list(injected[:population])
+        vectors = head + engine.ask(population - len(head))
+    else:
+        vectors = engine.ask(population)
+    configs: List[Optional[Any]] = []
+    for member in range(population):
+        vector = vectors[member]
+        config = None
+        for _ in range(max_decode_attempts):
+            try:
+                config = encoder.decode(
+                    vector, name=f"{name_prefix}-g{iteration}m{member}")
+                break
+            except EncodingError:
+                vector = engine.sample()
+        vectors[member] = vector
+        configs.append(config)
+    entropies = [seed_entropy(member_rng)
+                 for member_rng in spawn_rngs(rng, population)]
+    return vectors, configs, entropies

@@ -7,7 +7,7 @@ the evolution strategy's improves.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
 import numpy as np
 
@@ -28,6 +28,17 @@ class RandomEngine:
 
     def sample(self) -> np.ndarray:
         return self.rng.random(self.num_params)
+
+    def ask(self, count: int) -> List[np.ndarray]:
+        """Batch-sample ``count`` candidates (ask/tell protocol)."""
+        if count < 0:
+            raise SearchError(f"ask count must be >= 0, got {count}")
+        return [self.sample() for _ in range(count)]
+
+    def tell(self, candidates: Sequence[np.ndarray],
+             fitnesses: Sequence[float]) -> None:
+        """Report the batch's fitnesses; a random engine never adapts."""
+        self.update(candidates, fitnesses)
 
     def update(self, candidates: Sequence[np.ndarray],
                fitnesses: Sequence[float]) -> None:

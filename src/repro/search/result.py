@@ -21,6 +21,19 @@ class IterationStats:
     valid_count: int
     population: int
 
+    @classmethod
+    def from_fitnesses(cls, iteration: int, fitnesses: Tuple[float, ...],
+                       population: int) -> "IterationStats":
+        """Summarize one generation's fitness batch (inf = invalid)."""
+        finite = [f for f in fitnesses if math.isfinite(f)]
+        return cls(
+            iteration=iteration,
+            best_fitness=min(finite) if finite else math.inf,
+            mean_fitness=sum(finite) / len(finite) if finite else math.inf,
+            valid_count=len(finite),
+            population=population,
+        )
+
     @property
     def valid_fraction(self) -> float:
         return self.valid_count / self.population if self.population else 0.0

@@ -8,11 +8,14 @@ for nested search loops (accelerator / mapping / NAS).
 
 from __future__ import annotations
 
-from typing import List, Union
+import hashlib
+from typing import Hashable, List, Union
 
 import numpy as np
 
 SeedLike = Union[None, int, np.random.Generator]
+
+_ENTROPY_BOUND = 2**63 - 1
 
 
 def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
@@ -35,5 +38,33 @@ def spawn_rngs(rng: np.random.Generator, count: int) -> List[np.random.Generator
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
-    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    seeds = rng.integers(0, _ENTROPY_BOUND, size=count, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def seed_entropy(seed: SeedLike = None) -> int:
+    """Collapse ``seed`` into one stable 63-bit integer.
+
+    Generators contribute their next draw (so passing a shared stream
+    stays reproducible); ints pass through; ``None`` is nondeterministic.
+    The result is a plain int, safe to pickle across process boundaries.
+    """
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, _ENTROPY_BOUND))
+    if seed is None:
+        return int(np.random.default_rng().integers(0, _ENTROPY_BOUND))
+    return int(seed) % _ENTROPY_BOUND
+
+
+def derive_seed(entropy: int, key: Hashable) -> int:
+    """Deterministically derive a child seed from ``entropy`` and ``key``.
+
+    Hashes ``repr(key)`` (stable across processes, unlike ``hash()`` on
+    strings under hash randomization), so the derived stream depends only
+    on *what* is being evaluated, never on evaluation order or cache
+    state. This is what keeps serial and parallel search bit-identical:
+    whichever worker computes a given key gets the same child seed.
+    """
+    digest = hashlib.blake2b(
+        f"{entropy}:{key!r}".encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "little")

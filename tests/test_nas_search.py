@@ -50,6 +50,16 @@ class TestNASSearch:
         assert a.best_edp == b.best_edp
         assert a.best_arch == b.best_arch
 
+    def test_workers_do_not_change_results(self, cost_model):
+        accel = baseline_preset("nvdla_256")
+        kwargs = dict(accuracy_floor=73.0, budget=TINY_NAS,
+                      mapping_budget=TINY_MAPPING, seed=5)
+        serial = search_architecture(accel, cost_model, workers=1, **kwargs)
+        parallel = search_architecture(accel, cost_model, workers=3, **kwargs)
+        assert serial.best_edp == parallel.best_edp
+        assert serial.best_arch == parallel.best_arch
+        assert serial.history == parallel.history
+
     def test_lower_floor_never_hurts(self, cost_model):
         accel = baseline_preset("nvdla_256")
         low = search_architecture(accel, cost_model, accuracy_floor=70.0,
@@ -74,6 +84,19 @@ class TestJointSearch:
         assert result.best_accuracy >= 73.0
         assert result.hardware_evaluations > 0
         assert result.network_evaluations > 0
+
+    def test_joint_workers_do_not_change_results(self, cost_model):
+        constraint = baseline_constraint("nvdla_256")
+        kwargs = dict(accuracy_floor=73.0,
+                      budget=JointBudget(accel_population=2,
+                                         accel_iterations=1,
+                                         nas=TINY_NAS, mapping=TINY_MAPPING),
+                      seed=2)
+        serial = search_joint(constraint, cost_model, workers=1, **kwargs)
+        parallel = search_joint(constraint, cost_model, workers=2, **kwargs)
+        assert serial.best_edp == parallel.best_edp
+        assert serial.best_config == parallel.best_config
+        assert serial.history == parallel.history
 
     def test_joint_respects_seed_configs(self, cost_model):
         constraint = baseline_constraint("nvdla_256")

@@ -5,6 +5,8 @@ import math
 import pytest
 
 from repro.accelerator.presets import baseline_constraint, baseline_preset
+from repro.cost.model import CostModel
+from repro.cost.report import LayerCost
 from repro.search.accelerator_search import (
     NAASBudget,
     evaluate_accelerator,
@@ -18,6 +20,19 @@ from repro.tensors.network import Network
 
 TINY = NAASBudget(accel_population=4, accel_iterations=3,
                   mapping=MappingSearchBudget(population=4, iterations=2))
+
+
+class _VetoCostModel(CostModel):
+    """Cost model that makes one named layer unmappable."""
+
+    def __init__(self, veto: str) -> None:
+        super().__init__()
+        self._veto = veto
+
+    def evaluate(self, layer, accel, mapping):
+        if layer.name == self._veto:
+            return LayerCost.invalid(layer.name, ("vetoed by test",))
+        return super().evaluate(layer, accel, mapping)
 
 
 @pytest.fixture
@@ -46,6 +61,67 @@ class TestEvaluateAccelerator:
         assert cache.misses == misses  # second call fully cached
         assert cache.hits >= misses
 
+    def test_unmappable_network_scores_inf(self, tiny_network, small_layer):
+        """Regression: an accelerator that cannot map a network must be
+        rewarded ``inf``, and the partial network must not leak an empty
+        NetworkCost into the reward aggregation."""
+        preset = baseline_preset("nvdla_256")
+        reward, costs, _ = evaluate_accelerator(
+            preset, [tiny_network], _VetoCostModel(small_layer.name),
+            MappingSearchBudget(4, 2), seed=0)
+        assert reward == math.inf
+        assert tiny_network.name not in costs
+        assert all(cost.layer_costs for cost in costs.values())
+
+    def test_one_unmappable_network_vetoes_candidate(
+            self, small_layer, pointwise_layer, depthwise_layer):
+        """A candidate is infeasible if *any* benchmark network is; the
+        mappable networks still report their (finite) costs."""
+        preset = baseline_preset("nvdla_256")
+        good = Network(name="good", layers=(pointwise_layer,))
+        bad = Network(name="bad", layers=(small_layer, depthwise_layer))
+        reward, costs, _ = evaluate_accelerator(
+            preset, [good, bad], _VetoCostModel(depthwise_layer.name),
+            MappingSearchBudget(4, 2), seed=0)
+        assert reward == math.inf
+        assert set(costs) == {"good"}
+        assert costs["good"].valid
+
+    def test_shape_group_shares_mapping(self, small_layer, cost_model):
+        """Regression: every layer of a shape group gets a best_mappings
+        entry, so the table replays through evaluate_with_mappings."""
+        twin = ConvLayer(name="twin_conv", k=small_layer.k, c=small_layer.c,
+                         y=small_layer.y, x=small_layer.x, r=small_layer.r,
+                         s=small_layer.s)
+        network = Network(name="twins", layers=(small_layer, twin))
+        assert len(network.unique_shapes()) == 1
+        preset = baseline_preset("nvdla_256")
+        reward, _, mappings = evaluate_accelerator(
+            preset, [network], cost_model, MappingSearchBudget(4, 2), seed=0)
+        assert set(mappings) == {small_layer.name, twin.name}
+        assert mappings[small_layer.name] == mappings[twin.name]
+        replayed = cost_model.evaluate_with_mappings(network, preset, mappings)
+        assert replayed.valid
+        assert math.isfinite(reward)
+
+    def test_cache_state_does_not_change_results(self, tiny_network,
+                                                 cost_model):
+        """Evaluation seeds derive from content, so a warm cache returns
+        exactly what a cold evaluation computes."""
+        preset = baseline_preset("nvdla_256")
+        cold_reward, cold_costs, _ = evaluate_accelerator(
+            preset, [tiny_network], cost_model, MappingSearchBudget(4, 2),
+            seed=7)
+        cache = EvaluationCache()
+        evaluate_accelerator(preset, [tiny_network], cost_model,
+                             MappingSearchBudget(4, 2), seed=7, cache=cache)
+        warm_reward, warm_costs, _ = evaluate_accelerator(
+            preset, [tiny_network], cost_model, MappingSearchBudget(4, 2),
+            seed=7, cache=cache)
+        assert warm_reward == cold_reward
+        assert warm_costs[tiny_network.name].edp == \
+            cold_costs[tiny_network.name].edp
+
 
 class TestSearchAccelerator:
     def test_finds_design(self, tiny_network, cost_model, small_constraint):
@@ -62,6 +138,23 @@ class TestSearchAccelerator:
                                budget=TINY, seed=3)
         assert a.best_reward == b.best_reward
         assert a.best_config == b.best_config
+
+    def test_workers_do_not_change_results(self, tiny_network, cost_model,
+                                           small_constraint):
+        """The acceptance bar for the parallel engine: any worker count
+        returns a bit-identical AcceleratorSearchResult."""
+        serial = search_accelerator([tiny_network], small_constraint,
+                                    cost_model, budget=TINY, seed=11,
+                                    workers=1)
+        parallel = search_accelerator([tiny_network], small_constraint,
+                                      cost_model, budget=TINY, seed=11,
+                                      workers=4)
+        assert serial.best_reward == parallel.best_reward
+        assert serial.best_config == parallel.best_config
+        assert serial.history == parallel.history
+        assert serial.evaluations == parallel.evaluations
+        assert serial.network_costs[tiny_network.name].edp == \
+            parallel.network_costs[tiny_network.name].edp
 
     def test_seeded_preset_bounds_reward(self, cost_model):
         """Seeding with the baseline makes the search at least as good as

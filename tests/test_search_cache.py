@@ -46,6 +46,76 @@ class TestCache:
         with pytest.raises(ValueError):
             EvaluationCache(max_entries=0)
 
+    def test_hit_rate_empty_is_zero(self):
+        assert EvaluationCache().hit_rate == 0.0
+
+    def test_lru_eviction_keeps_most_recent(self):
+        cache = EvaluationCache(max_entries=3)
+        for key in ("a", "b", "c"):
+            cache.get_or_compute(key, lambda key=key: key.upper())
+        cache.get_or_compute("a", lambda: "A")   # refresh a; b is now LRU
+        cache.get_or_compute("d", lambda: "D")   # evicts b
+        calls = []
+        cache.get_or_compute("b", lambda: calls.append(1) or "B2")
+        assert calls  # b was recomputed after eviction
+        # a, c, d survived up to the "d" insertion; c was evicted by b
+        assert cache.get_or_compute("a", lambda: "other") == "A"
+
+    def test_snapshot_is_isolated(self):
+        cache = EvaluationCache()
+        cache.get_or_compute("shared", lambda: 1)
+        snap = cache.snapshot()
+        assert snap.hits == snap.misses == 0
+        assert snap.get_or_compute("shared", lambda: 99) == 1  # copied entry
+        snap.get_or_compute("private", lambda: 2)
+        assert len(cache) == 1  # master unaffected until merge
+
+    def test_merge_adopts_entries_and_counters(self):
+        master = EvaluationCache()
+        master.get_or_compute("k0", lambda: 0)
+        worker = master.snapshot()
+        worker.get_or_compute("k0", lambda: 111)  # hit on snapshot entry
+        worker.get_or_compute("k1", lambda: 1)
+        master.merge(worker)
+        assert len(master) == 2
+        assert master.get_or_compute("k1", lambda: 999) == 1
+        assert master.hits == 2    # 1 from worker + the k1 lookup just made
+        assert master.misses == 2  # k0 original + worker's k1
+
+    def test_merge_first_value_wins(self):
+        master = EvaluationCache()
+        master.get_or_compute("k", lambda: "master")
+        worker = EvaluationCache()
+        worker.get_or_compute("k", lambda: "worker")
+        master.merge(worker)
+        assert master.get_or_compute("k", lambda: "x") == "master"
+
+    def test_merge_respects_bound(self):
+        master = EvaluationCache(max_entries=2)
+        worker = EvaluationCache()
+        for i in range(5):
+            worker.get_or_compute(i, lambda i=i: i)
+        master.merge(worker)
+        assert len(master) == 2
+
+    def test_delta_since_ships_only_new_entries(self):
+        master = EvaluationCache()
+        master.get_or_compute("old", lambda: 0)
+        worker = master.snapshot()
+        baseline = worker.keys()
+        worker.get_or_compute("old", lambda: 111)  # hit, not in delta
+        worker.get_or_compute("new", lambda: 1)
+        delta = worker.delta_since(baseline)
+        assert len(delta) == 1
+        # counters travel with the delta so merge() stays one call
+        assert delta.hits == 1
+        assert delta.misses == 1
+        assert delta.get_or_compute("new", lambda: 999) == 1  # hits -> 2
+        master.merge(delta)
+        assert len(master) == 2
+        assert master.hits == 2    # worker's "old" hit + the delta lookup
+        assert master.misses == 2  # "old" original + worker's "new"
+
 
 def _network_cost(name, cycles, energy):
     layer = LayerCost(layer_name="l", valid=True, cycles=cycles,

@@ -93,6 +93,49 @@ class TestEvolutionEngine:
         b = EvolutionEngine(4, seed=7).sample()
         assert np.allclose(a, b)
 
+    def test_ask_matches_repeated_sample(self):
+        asked = EvolutionEngine(3, seed=8).ask(5)
+        sampler = EvolutionEngine(3, seed=8)
+        sampled = [sampler.sample() for _ in range(5)]
+        assert len(asked) == 5
+        for a, b in zip(asked, sampled):
+            assert np.allclose(a, b)
+
+    def test_ask_zero_and_negative(self):
+        engine = EvolutionEngine(2, seed=9)
+        assert engine.ask(0) == []
+        with pytest.raises(SearchError):
+            engine.ask(-1)
+
+    def test_tell_is_update(self):
+        engine = EvolutionEngine(2, seed=10)
+        population = engine.ask(6)
+        engine.tell(population, [sphere(x) for x in population])
+        assert engine.generation == 1
+
+    def test_elite_covariance_is_sample_covariance(self):
+        """Regression: the elite spread uses the unbiased 1/(n-1)
+        normalizer centered on the elites' own mean."""
+        floor = 0.03
+        engine = EvolutionEngine(1, seed=11, learning_rate=1.0,
+                                 elite_fraction=1.0, sigma_floor=floor)
+        elites = [np.array([0.2]), np.array([0.4])]
+        engine.update(elites, [0.0, 0.0])
+        # sample covariance of {0.2, 0.4} is 0.02 (1/(n-1)), not 0.01 (1/n)
+        assert engine.cov[0, 0] == pytest.approx(0.02 + floor**2)
+        assert engine.mean[0] == pytest.approx(0.3)
+
+    def test_cholesky_survives_degenerate_elites(self):
+        """The sigma floor keeps the covariance positive-definite even
+        when every elite is the same point (zero sample spread)."""
+        engine = EvolutionEngine(3, seed=12, sigma_floor=0.03)
+        point = np.full(3, 0.5)
+        for _ in range(100):
+            engine.update([point] * 4, [0.0] * 4)
+            sample = engine.sample()  # would raise if cholesky had failed
+            assert np.all(np.isfinite(sample))
+        assert np.all(np.linalg.eigvalsh(engine.cov) > 0)
+
 
 class TestRandomEngine:
     def test_distribution_never_adapts(self):
