@@ -104,7 +104,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
     result = search_accelerator(
         [network], baseline_constraint(args.preset), cost_model,
         budget=profile.naas, seed=args.seed, seed_configs=[preset],
-        workers=args.workers)
+        workers=args.workers, cache_dir=args.cache_dir)
     if not result.found:
         print("search found no valid design", file=sys.stderr)
         return 1
@@ -112,6 +112,11 @@ def _cmd_search(args: argparse.Namespace) -> int:
     found = result.network_costs[network.name]
     print(f"baseline : {preset.describe()}")
     print(f"searched : {result.best_config.describe()}")
+    if args.cache_dir and result.cache_stats is not None:
+        stats = result.cache_stats
+        print(f"cache    : {stats.hit_rate:.1%} hits "
+              f"({stats.hits} hits / {stats.misses} misses, "
+              f"{stats.disk_hits} from disk)")
     print(f"speedup        = {baseline.total_cycles / found.total_cycles:.2f}x")
     print(f"energy saving  = "
           f"{baseline.total_energy_nj / found.total_energy_nj:.2f}x")
@@ -131,7 +136,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    result = run_experiment(args.name, profile=args.profile, seed=args.seed)
+    result = run_experiment(args.name, profile=args.profile, seed=args.seed,
+                            workers=args.workers, cache_dir=args.cache_dir)
     print(result.render())
     return 0 if result.all_claims_hold else 1
 
@@ -162,6 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="parallel evaluation processes "
                              "(0 = all cores; results are identical "
                              "for any worker count)")
+    search.add_argument("--cache-dir", default=None,
+                        help="persistent evaluation-cache directory, "
+                             "shared across runs and concurrent "
+                             "processes; a repeated run with the same "
+                             "seed reuses every mapping-search result "
+                             "and returns bit-identical designs")
     search.add_argument("--output", help="write best design JSON here")
 
     experiment = sub.add_parser("experiment",
@@ -169,6 +181,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
     experiment.add_argument("--profile", default="")
     experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--workers", type=int, default=1,
+                            help="parallel evaluation processes "
+                                 "(0 = all cores)")
+    experiment.add_argument("--cache-dir", default=None,
+                            help="persistent evaluation-cache directory "
+                                 "(see `search --cache-dir`)")
 
     return parser
 

@@ -12,6 +12,7 @@ from repro.cost.report import NetworkCost
 from repro.mapping.builders import dataflow_preserving_mapping
 from repro.search.accelerator_search import evaluate_accelerator
 from repro.search.cache import EvaluationCache
+from repro.search.diskcache import build_cache
 from repro.search.mapping_search import MappingSearchBudget
 from repro.search.parallel import ParallelEvaluator
 from repro.tensors.network import Network
@@ -64,13 +65,15 @@ def tuned_baseline_costs(preset_name: str,
                          mapping_budget: MappingSearchBudget,
                          seed: SeedLike = None,
                          workers: int = 1,
+                         cache_dir: Optional[str] = None,
                          ) -> Dict[str, NetworkCost]:
     """Per-network cost of a baseline preset with *searched* mappings.
 
     A stronger (conservative) baseline than :func:`baseline_costs`: the
     preset gets the same mapping-search budget as NAAS candidates.
     Networks are independent, so ``workers`` fans them out in parallel;
-    unmappable networks are omitted from the result.
+    unmappable networks are omitted from the result. ``cache_dir``
+    persists the tuned mappings across runs via the disk tier.
     """
     preset = baseline_preset(preset_name)
     entropy = seed_entropy(seed)
@@ -79,7 +82,7 @@ def tuned_baseline_costs(preset_name: str,
                           mapping_budget=mapping_budget, entropy=entropy)
              for network in networks]
     with ParallelEvaluator(_tune_network, workers=workers,
-                           cache=EvaluationCache()) as evaluator:
+                           cache=build_cache(cache_dir)) as evaluator:
         outcomes = evaluator.evaluate(tasks)
     return {network.name: cost
             for network, cost in zip(networks, outcomes) if cost is not None}

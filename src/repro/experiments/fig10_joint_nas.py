@@ -13,6 +13,8 @@ Four points, as in the paper:
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.accelerator.presets import baseline_preset
 from repro.baselines.nhas import search_nhas
 from repro.cost.model import CostModel
@@ -44,7 +46,8 @@ PAPER = {
 }
 
 
-def run(profile: str = "", seed: int = 0) -> ExperimentResult:
+def run(profile: str = "", seed: int = 0, workers: int = 1,
+        cache_dir: Optional[str] = None) -> ExperimentResult:
     """Produce the four (accuracy, normalized EDP) points."""
     budgets = get_profile(profile)
     rng = ensure_rng(seed)
@@ -75,7 +78,7 @@ def run(profile: str = "", seed: int = 0) -> ExperimentResult:
         # Point 3: NAAS accelerator+mapping search, fixed ResNet-50.
         accel_only = search_accelerator(
             [resnet], constraint, cost_model, budget=budgets.naas, seed=rng,
-            seed_configs=[preset])
+            seed_configs=[preset], workers=workers, cache_dir=cache_dir)
 
         # Point 4: full joint search.
         joint = search_joint(
@@ -85,7 +88,8 @@ def run(profile: str = "", seed: int = 0) -> ExperimentResult:
                 accel_population=budgets.naas.accel_population,
                 accel_iterations=max(2, budgets.naas.accel_iterations - 1),
                 nas=budgets.nas, mapping=budgets.naas.mapping),
-            seed=rng, predictor=predictor)
+            seed=rng, predictor=predictor, workers=workers,
+            cache_dir=cache_dir)
 
     def normalized(edp: float) -> float:
         return edp / base_edp

@@ -9,6 +9,7 @@ scenario.
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 from repro.cost.model import CostModel
 from repro.experiments.common import scenario_constraint
@@ -31,7 +32,8 @@ SCENARIO_NETWORK = "mobilenet_v2"
 PAIRED_RUNS = 3
 
 
-def run(profile: str = "", seed: int = 0) -> ExperimentResult:
+def run(profile: str = "", seed: int = 0, workers: int = 1,
+        cache_dir: Optional[str] = None) -> ExperimentResult:
     """Run paired searches and tabulate per-iteration population means."""
     budgets = get_profile(profile)
     rng = ensure_rng(seed)
@@ -51,10 +53,11 @@ def run(profile: str = "", seed: int = 0) -> ExperimentResult:
             run_seed = int(rng.integers(2**31))
             naas_runs.append(search_accelerator(
                 [network], constraint, cost_model, budget=budget,
-                seed=run_seed))
+                seed=run_seed, workers=workers, cache_dir=cache_dir))
             random_runs.append(search_accelerator(
                 [network], constraint, cost_model, budget=budget,
-                seed=run_seed, engine_cls=RandomEngine))
+                seed=run_seed, engine_cls=RandomEngine, workers=workers,
+                cache_dir=cache_dir))
 
     # The table shows the first pair's trajectories, normalized to the
     # random search's first-iteration mean (the paper plots normalized

@@ -9,7 +9,7 @@ saving versus the baseline preset running with equally tuned mappings.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.cost.model import CostModel
 from repro.experiments.common import (
@@ -52,7 +52,9 @@ def _benchmark_set(kind: str):
 
 
 def run(profile: str = "", seed: int = 0,
-        scenarios: Sequence[Tuple[str, str]] = SCENARIOS) -> ExperimentResult:
+        scenarios: Sequence[Tuple[str, str]] = SCENARIOS,
+        workers: int = 1,
+        cache_dir: Optional[str] = None) -> ExperimentResult:
     """Run every scenario and tabulate per-network and geomean gains."""
     budgets = get_profile(profile)
     rng = ensure_rng(seed)
@@ -68,7 +70,8 @@ def run(profile: str = "", seed: int = 0,
             searched = search_accelerator(
                 networks, scenario_constraint(preset_name), cost_model,
                 budget=budgets.naas, seed=rng,
-                seed_configs=[baseline_preset(preset_name)])
+                seed_configs=[baseline_preset(preset_name)],
+                workers=workers, cache_dir=cache_dir)
             per_net, geo_speed, geo_energy, geo_edp = gain_rows(
                 baseline, searched.network_costs)
             for name, speedup, energy_saving, edp_reduction in per_net:

@@ -10,7 +10,7 @@ complete grid.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cost.model import CostModel
 from repro.experiments.common import (
@@ -50,7 +50,9 @@ def grid_for_profile(profile_name: str) -> List[Tuple[str, str]]:
 
 
 def run(profile: str = "", seed: int = 0,
-        pairs: Sequence[Tuple[str, str]] = ()) -> ExperimentResult:
+        pairs: Sequence[Tuple[str, str]] = (),
+        workers: int = 1,
+        cache_dir: Optional[str] = None) -> ExperimentResult:
     """Search per (scenario, network) pair; tabulate speedup / energy."""
     budgets = get_profile(profile)
     rng = ensure_rng(seed)
@@ -67,7 +69,8 @@ def run(profile: str = "", seed: int = 0,
             searched = search_accelerator(
                 [network], scenario_constraint(preset_name), cost_model,
                 budget=budgets.naas, seed=rng,
-                seed_configs=[baseline_preset(preset_name)])
+                seed_configs=[baseline_preset(preset_name)],
+                workers=workers, cache_dir=cache_dir)
             per_net, geo_speed, geo_energy, geo_edp = gain_rows(
                 baseline, searched.network_costs)
             _, speedup, energy_saving, edp_reduction = per_net[0]

@@ -10,7 +10,7 @@ three scenarios and report our searched designs next to the paper's.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.cost.model import CostModel
 from repro.experiments.common import scenario_constraint
@@ -32,7 +32,8 @@ CASES: Tuple[Tuple[str, str, str, str], ...] = (
 )
 
 
-def run(profile: str = "", seed: int = 0) -> ExperimentResult:
+def run(profile: str = "", seed: int = 0, workers: int = 1,
+        cache_dir: Optional[str] = None) -> ExperimentResult:
     """Re-search the three showcase scenarios and describe the designs."""
     budgets = get_profile(profile)
     rng = ensure_rng(seed)
@@ -48,7 +49,8 @@ def run(profile: str = "", seed: int = 0) -> ExperimentResult:
             constraint = scenario_constraint(preset_name)
             searched = search_accelerator(
                 [network], constraint, cost_model, budget=budgets.naas,
-                seed=rng, seed_configs=[baseline_preset(preset_name)])
+                seed=rng, seed_configs=[baseline_preset(preset_name)],
+                workers=workers, cache_dir=cache_dir)
             config = searched.best_config
             ours = config.describe() if config else "search failed"
             rows.append((label, f"{network_name} @ {preset_name}",

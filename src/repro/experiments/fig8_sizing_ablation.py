@@ -9,7 +9,7 @@ MobileNetV2 at EdgeTPU resources) and 2.61x/1.62x (NVDLA-1024).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.accelerator.presets import baseline_preset
 from repro.baselines.sizing_only import search_sizing_only
@@ -44,7 +44,8 @@ PAPER_SIZING: Dict[Tuple[str, str], float] = {
 }
 
 
-def run(profile: str = "", seed: int = 0) -> ExperimentResult:
+def run(profile: str = "", seed: int = 0, workers: int = 1,
+        cache_dir: Optional[str] = None) -> ExperimentResult:
     """Run both search regimes on each case; tabulate EDP reductions."""
     budgets = get_profile(profile)
     rng = ensure_rng(seed)
@@ -74,7 +75,8 @@ def run(profile: str = "", seed: int = 0) -> ExperimentResult:
                 seeds.append(sizing.best_config)
             naas = search_accelerator(
                 [network], constraint, cost_model, budget=budgets.naas,
-                seed=rng, seed_configs=seeds)
+                seed=rng, seed_configs=seeds, workers=workers,
+                cache_dir=cache_dir)
 
             sizing_reduction = base_edp / sizing.best_reward
             naas_reduction = base_edp / naas.best_reward

@@ -18,7 +18,7 @@ is reported in the table but not asserted.
 from __future__ import annotations
 
 import dataclasses
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.cost.model import CostModel
 from repro.encoding.spaces import EncodingStyle
@@ -65,7 +65,8 @@ def _ablation_budget(naas: NAASBudget) -> NAASBudget:
     )
 
 
-def run(profile: str = "", seed: int = 0) -> ExperimentResult:
+def run(profile: str = "", seed: int = 0, workers: int = 1,
+        cache_dir: Optional[str] = None) -> ExperimentResult:
     """Search the same scenario under all four encoding combinations.
 
     A *paired* comparison: within each of the ``PAIRED_RUNS`` rounds all
@@ -91,7 +92,8 @@ def run(profile: str = "", seed: int = 0) -> ExperimentResult:
                     [network], constraint, cost_model, budget=budget,
                     seed=run_seed, hardware_style=hardware_style,
                     mapping_style=mapping_style,
-                    seed_configs=[baseline_preset(SCENARIO_PRESET)])
+                    seed_configs=[baseline_preset(SCENARIO_PRESET)],
+                    workers=workers, cache_dir=cache_dir)
                 samples[(hardware_style, mapping_style)].append(
                     base_edp / searched.best_reward)
 

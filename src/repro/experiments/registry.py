@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.errors import ReproError
 from repro.experiments import (
@@ -32,11 +32,19 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 
 
 def run_experiment(name: str, profile: str = "",
-                   seed: int = 0) -> ExperimentResult:
-    """Run one experiment by id (``fig4`` ... ``table4``)."""
+                   seed: int = 0, workers: int = 1,
+                   cache_dir: Optional[str] = None) -> ExperimentResult:
+    """Run one experiment by id (``fig4`` ... ``table4``).
+
+    ``workers`` fans candidate evaluations out per generation;
+    ``cache_dir`` persists mapping-search results across runs (see
+    :mod:`repro.search.diskcache`), so re-running an experiment with the
+    same seed and profile reuses its evaluations.
+    """
     try:
         runner = EXPERIMENTS[name]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise ReproError(f"unknown experiment {name!r}; known: {known}") from None
-    return runner(profile=profile, seed=seed)
+    return runner(profile=profile, seed=seed, workers=workers,
+                  cache_dir=cache_dir)

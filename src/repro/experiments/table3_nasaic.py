@@ -10,6 +10,8 @@ values, carried over as constants (hardware search does not alter them).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.accelerator.constraints import ResourceConstraint
 from repro.baselines.nasaic import search_nasaic
 from repro.cost.model import CostModel
@@ -38,7 +40,8 @@ PAPER_ROWS = (
 )
 
 
-def run(profile: str = "", seed: int = 0) -> ExperimentResult:
+def run(profile: str = "", seed: int = 0, workers: int = 1,
+        cache_dir: Optional[str] = None) -> ExperimentResult:
     """Run both searches on the CIFAR net and compare latency/energy/EDP."""
     budgets = get_profile(profile)
     rng = ensure_rng(seed)
@@ -49,7 +52,7 @@ def run(profile: str = "", seed: int = 0) -> ExperimentResult:
         nasaic = search_nasaic(network, TABLE3_CONSTRAINT, cost_model)
         naas = search_accelerator(
             [network], TABLE3_CONSTRAINT, cost_model, budget=budgets.naas,
-            seed=rng)
+            seed=rng, workers=workers, cache_dir=cache_dir)
 
     naas_cost = naas.network_costs[network.name]
     rows = [

@@ -9,6 +9,7 @@ claim is the >120x total-cost saving versus NASAIC.
 from __future__ import annotations
 
 import time
+from typing import Optional
 
 from repro.baselines.search_cost import (
     nasaic_cost,
@@ -29,7 +30,8 @@ from repro.utils.rng import ensure_rng
 NUM_SCENARIOS = 5
 
 
-def run(profile: str = "", seed: int = 0) -> ExperimentResult:
+def run(profile: str = "", seed: int = 0, workers: int = 1,
+        cache_dir: Optional[str] = None) -> ExperimentResult:
     """Tabulate published cost formulas plus this repro's measured cost."""
     budgets = get_profile(profile)
     rng = ensure_rng(seed)
@@ -40,7 +42,8 @@ def run(profile: str = "", seed: int = 0) -> ExperimentResult:
         start = time.perf_counter()
         search_accelerator(
             [build_model("mobilenet_v2")], scenario_constraint("eyeriss"),
-            cost_model, budget=budgets.naas, seed=rng)
+            cost_model, budget=budgets.naas, seed=rng, workers=workers,
+            cache_dir=cache_dir)
         measured_seconds = time.perf_counter() - start
 
         reports = search_cost_table(

@@ -22,6 +22,7 @@ from repro.nas.accuracy import AccuracyPredictor
 from repro.nas.ofa_space import ResNetArch
 from repro.nas.search import NASBudget, NASResult, search_architecture
 from repro.search.cache import EvaluationCache
+from repro.search.diskcache import build_cache
 from repro.search.es import EvolutionEngine
 from repro.search.mapping_search import MappingSearchBudget
 from repro.search.parallel import ParallelEvaluator, ask_generation
@@ -94,18 +95,22 @@ def search_joint(constraint: ResourceConstraint,
                  predictor: Optional[AccuracyPredictor] = None,
                  seed_configs: Tuple[AcceleratorConfig, ...] = (),
                  workers: int = 1,
+                 cache_dir: Optional[str] = None,
                  ) -> JointSearchResult:
     """Run the joint NAAS+NAS search under a resource constraint.
 
     ``workers`` parallelizes across hardware candidates: each candidate's
     whole inner NAS run is one work item, the coarsest (and therefore
-    best-amortized) unit of the three-level search.
+    best-amortized) unit of the three-level search. ``cache_dir`` backs
+    every inner NAS run with the shared persistent disk tier of
+    :mod:`repro.search.diskcache` (workers read through to disk and
+    append what they compute).
     """
     rng = ensure_rng(seed)
     predictor = predictor or AccuracyPredictor()
     encoder = HardwareEncoder(constraint, style=EncodingStyle.IMPORTANCE)
     engine = EvolutionEngine(encoder.num_params, seed=rng)
-    cache = EvaluationCache()
+    cache = build_cache(cache_dir)
 
     best: Optional[Tuple[AcceleratorConfig, NASResult]] = None
     best_edp = math.inf

@@ -29,9 +29,11 @@ from repro.nas.ofa_space import OFAResNetSpace, ResNetArch
 from repro.nas.subnet import build_subnet
 from repro.search.accelerator_search import evaluate_accelerator
 from repro.search.cache import EvaluationCache
+from repro.search.diskcache import build_cache
 from repro.search.mapping_search import MappingSearchBudget
+from repro.search.parallel import ParallelEvaluator
 from repro.tensors.network import Network
-from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+from repro.utils.rng import SeedLike, ensure_rng, seed_entropy
 
 BIT_CHOICES: Tuple[int, ...] = (4, 8, 16)
 
@@ -119,6 +121,42 @@ class QuantSearchResult:
         return self.best_arch is not None and self.best_policy is not None
 
 
+@dataclasses.dataclass(frozen=True)
+class _QuantTask:
+    """Picklable payload: score one (subnet, policy) pair."""
+
+    arch: ResNetArch
+    policy: QuantPolicy
+    accel: AcceleratorConfig
+    cost_model: CostModel
+    mapping_budget: MappingSearchBudget
+    entropy: int
+
+
+def _evaluate_quant_pair(task: _QuantTask,
+                         cache: Optional[EvaluationCache]) -> float:
+    """ParallelEvaluator worker: mapping-searched EDP of one pair.
+
+    ``task.entropy`` is the run-level entropy; inside
+    :func:`evaluate_accelerator` every mapping search derives its seed
+    as ``derive_seed(entropy, key)`` over the cache key, so a pair's
+    reward is a pure function of what is evaluated — never of
+    population order, cache state, or which worker runs it.
+    """
+    network = quantize_subnet(task.arch, task.policy)
+    reward, _, _ = evaluate_accelerator(
+        task.accel, [network], task.cost_model, task.mapping_budget,
+        seed=task.entropy, cache=cache)
+    return reward
+
+
+#: Refill attempts per missing population slot before a generation
+#: proceeds with a partial population. Tight accuracy floors can make
+#: both mutation and re-sampling permanently inadmissible; an unbounded
+#: refill loop would spin forever (the pre-fix behavior).
+_REFILL_ATTEMPTS_PER_SLOT = 16
+
+
 def search_quantized(accel: AcceleratorConfig,
                      cost_model: CostModel,
                      accuracy_floor: float,
@@ -127,17 +165,29 @@ def search_quantized(accel: AcceleratorConfig,
                      mapping_budget: MappingSearchBudget = MappingSearchBudget(),
                      seed: SeedLike = None,
                      predictor: Optional[QuantizedAccuracyPredictor] = None,
+                     workers: int = 1,
+                     cache_dir: Optional[str] = None,
                      ) -> QuantSearchResult:
     """Evolve (subnet, bitwidth policy) pairs minimizing EDP on ``accel``.
 
     A straightforward extension of the paper's NAS loop: the genome
     gains four bitwidth genes; everything else (admissibility floor,
     mutation/crossover, mapping-searched EDP reward) is unchanged.
+
+    ``workers`` fans each generation's pair evaluations out over that
+    many processes; any worker count returns a bit-identical result
+    because evaluation seeds derive from one run-level entropy via the
+    cache key (the former per-evaluation draws from the parent stream
+    made rewards depend on evaluation order). ``cache_dir`` backs the
+    run with the persistent disk tier of :mod:`repro.search.diskcache`.
     """
     rng = ensure_rng(seed)
     space = OFAResNetSpace()
     predictor = predictor or QuantizedAccuracyPredictor()
-    cache = EvaluationCache()
+    cache = build_cache(cache_dir)
+    # One entropy for the whole run, drawn before any evaluation: see
+    # _evaluate_quant_pair for why this keeps rewards order-independent.
+    eval_entropy = seed_entropy(rng)
 
     def random_policy() -> QuantPolicy:
         return QuantPolicy(stage_bits=tuple(
@@ -164,14 +214,6 @@ def search_quantized(accel: AcceleratorConfig,
                      else b for b in policy.stage_bits)
         return arch, QuantPolicy(stage_bits=bits)
 
-    def evaluate(pair: Tuple[ResNetArch, QuantPolicy]) -> float:
-        arch, policy = pair
-        network = quantize_subnet(arch, policy)
-        reward, _, _ = evaluate_accelerator(
-            accel, [network], cost_model, mapping_budget,
-            seed=spawn_rngs(rng, 1)[0], cache=cache)
-        return reward
-
     population_pairs = []
     while len(population_pairs) < population:
         pair = sample_pair()
@@ -184,31 +226,41 @@ def search_quantized(accel: AcceleratorConfig,
     best_pair: Optional[Tuple[ResNetArch, QuantPolicy]] = None
     best_edp = math.inf
     evaluations = 0
-    for iteration in range(iterations):
-        fitnesses = []
-        for pair in population_pairs:
-            edp = evaluate(pair)
-            evaluations += 1
-            fitnesses.append(edp)
-            if edp < best_edp:
-                best_edp = edp
-                best_pair = pair
-        if iteration == iterations - 1:
-            break
-        ranked = sorted(zip(fitnesses, range(len(population_pairs))),
-                        key=lambda p: p[0])
-        parents = [population_pairs[i]
-                   for _, i in ranked[:max(2, population // 4)]]
-        next_pairs = list(parents)
-        while len(next_pairs) < population:
-            child = mutate_pair(parents[int(rng.integers(len(parents)))])
-            if predictor(child[0], child[1]) >= accuracy_floor:
-                next_pairs.append(child)
-            else:
-                fallback = sample_pair()
-                if fallback is not None:
-                    next_pairs.append(fallback)
-        population_pairs = next_pairs
+    with ParallelEvaluator(_evaluate_quant_pair, workers=workers,
+                           cache=cache) as evaluator:
+        for iteration in range(iterations):
+            tasks = [_QuantTask(arch=arch, policy=policy, accel=accel,
+                                cost_model=cost_model,
+                                mapping_budget=mapping_budget,
+                                entropy=eval_entropy)
+                     for arch, policy in population_pairs]
+            fitnesses = evaluator.evaluate(tasks)
+            evaluations += len(tasks)
+            for pair, edp in zip(population_pairs, fitnesses):
+                if edp < best_edp:
+                    best_edp = edp
+                    best_pair = pair
+            if iteration == iterations - 1:
+                break
+            ranked = sorted(zip(fitnesses, range(len(population_pairs))),
+                            key=lambda p: p[0])
+            parents = [population_pairs[i]
+                       for _, i in ranked[:max(2, population // 4)]]
+            next_pairs = list(parents)
+            # Bounded refill: when the floor rejects every child and
+            # sample_pair cannot help either, proceed with the partial
+            # population (at worst the parents) instead of hanging.
+            attempts = _REFILL_ATTEMPTS_PER_SLOT * population
+            while len(next_pairs) < population and attempts > 0:
+                attempts -= 1
+                child = mutate_pair(parents[int(rng.integers(len(parents)))])
+                if predictor(child[0], child[1]) >= accuracy_floor:
+                    next_pairs.append(child)
+                else:
+                    fallback = sample_pair()
+                    if fallback is not None:
+                        next_pairs.append(fallback)
+            population_pairs = next_pairs
 
     if best_pair is None:
         return QuantSearchResult(None, None, 0.0, math.inf, evaluations)

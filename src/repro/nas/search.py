@@ -20,6 +20,7 @@ from repro.nas.ofa_space import OFAResNetSpace, ResNetArch
 from repro.nas.subnet import build_subnet
 from repro.search.accelerator_search import evaluate_accelerator
 from repro.search.cache import EvaluationCache
+from repro.search.diskcache import build_cache
 from repro.search.mapping_search import MappingSearchBudget
 from repro.search.parallel import ParallelEvaluator
 from repro.search.result import IterationStats
@@ -91,18 +92,21 @@ def search_architecture(accel: AcceleratorConfig,
                         predictor: Optional[AccuracyPredictor] = None,
                         cache: Optional[EvaluationCache] = None,
                         workers: int = 1,
+                        cache_dir: Optional[str] = None,
                         ) -> NASResult:
     """Find the lowest-EDP subnet meeting ``accuracy_floor`` on ``accel``.
 
     ``workers`` fans each generation's subnet evaluations out over that
     many processes; the result is identical for any worker count because
     all mapping searches are seeded from one run-level entropy via their
-    cache key (see :mod:`repro.search.parallel`).
+    cache key (see :mod:`repro.search.parallel`). ``cache_dir`` (used
+    only when no explicit ``cache`` is supplied) backs the run with the
+    persistent disk tier of :mod:`repro.search.diskcache`.
     """
     rng = ensure_rng(seed)
     space = OFAResNetSpace()
     predictor = predictor or AccuracyPredictor()
-    cache = cache if cache is not None else EvaluationCache()
+    cache = cache if cache is not None else build_cache(cache_dir)
     # One entropy for the whole NAS run: every evaluate_accelerator call
     # sharing this cache derives mapping seeds the same way, so cache
     # hits across architectures cannot change results.

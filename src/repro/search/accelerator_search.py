@@ -27,12 +27,14 @@ from repro.encoding.hardware import HardwareEncoder
 from repro.encoding.spaces import EncodingStyle
 from repro.mapping.mapping import Mapping
 from repro.search.cache import EvaluationCache
+from repro.search.diskcache import build_cache, content_digest
 from repro.search.es import EvolutionEngine
 from repro.search.mapping_search import MappingSearchBudget, search_mapping
 from repro.search.objectives import RewardFn, geomean_edp
 from repro.search.parallel import ParallelEvaluator, ask_generation
 from repro.search.result import (
     AcceleratorSearchResult,
+    CacheStats,
     IterationStats,
     MappingSearchResult,
 )
@@ -85,8 +87,16 @@ def evaluate_accelerator(accel: AcceleratorConfig,
     results therefore depend only on what is evaluated, never on cache
     state or evaluation order — the invariant that keeps serial and
     parallel search runs bit-identical.
+
+    When the supplied cache has a persistent tier (see
+    :mod:`repro.search.diskcache`), each lookup also carries a
+    ``disk_key`` content digest over ``(entropy, key, mapping_budget,
+    cost-model params)`` — the full identity a cached value is a pure
+    function of — so runs with a different budget, cost model, or seed
+    can never hit a stale cross-run entry.
     """
     entropy = seed_entropy(seed)
+    persistent = cache is not None and getattr(cache, "persistent", False)
     network_costs: Dict[str, NetworkCost] = {}
     best_mappings: Dict[str, Mapping] = {}
     feasible = True
@@ -105,7 +115,11 @@ def evaluate_accelerator(accel: AcceleratorConfig,
             if cache is None:
                 result = run_search()
             else:
-                result = cache.get_or_compute(key, run_search)
+                disk_key = content_digest(
+                    entropy, key, mapping_budget,
+                    cost_model.params) if persistent else None
+                result = cache.get_or_compute(key, run_search,
+                                              disk_key=disk_key)
             if not result.found:
                 logger.debug("no mapping for %s on %s", layer.name, accel.name)
                 mappable = False
@@ -162,6 +176,7 @@ def search_accelerator(networks: Sequence[Network],
                        max_decode_attempts: int = 32,
                        reward_fn: RewardFn = geomean_edp,
                        workers: int = 1,
+                       cache_dir: Optional[str] = None,
                        ) -> AcceleratorSearchResult:
     """Run the full NAAS hardware search under a resource constraint.
 
@@ -169,12 +184,16 @@ def search_accelerator(networks: Sequence[Network],
     letting the search warm-start from (e.g.) the baseline preset.
     ``workers`` fans each generation's candidate evaluations out over
     that many processes (0 = all cores); any worker count returns the
-    same result for the same seed.
+    same result for the same seed. ``cache_dir`` adds a persistent disk
+    tier under the evaluation cache (shared across runs and concurrent
+    processes; see :mod:`repro.search.diskcache`): a repeated run with
+    the same seed and budget reuses every mapping-search result and
+    returns a bit-identical ``AcceleratorSearchResult``.
     """
     rng = ensure_rng(seed)
     encoder = HardwareEncoder(constraint, style=hardware_style)
     engine = engine_cls(encoder.num_params, seed=rng)
-    cache = EvaluationCache()
+    cache = build_cache(cache_dir)
     networks = tuple(networks)
 
     best_config: Optional[AcceleratorConfig] = None
@@ -233,4 +252,7 @@ def search_accelerator(networks: Sequence[Network],
         best_mappings=best_maps,
         history=tuple(history),
         evaluations=evaluations,
+        cache_stats=CacheStats(
+            hits=cache.hits, misses=cache.misses,
+            disk_hits=getattr(cache, "disk_hits", 0), entries=len(cache)),
     )

@@ -4,16 +4,25 @@ The outer evolution loop frequently revisits similar accelerator
 candidates, and multiple networks share layer shapes. Keys are plain
 hashables (frozen dataclasses / shape tuples), so a dict suffices; the
 class adds hit statistics and a size bound.
+
+:mod:`repro.search.diskcache` layers a persistent cross-run tier under
+this class; ``get_or_compute`` therefore accepts (and here ignores) the
+``disk_key`` content digest that tier is keyed by, so producers can pass
+it unconditionally.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable, Hashable
+from typing import Any, Callable, Hashable, Optional
 
 
 class EvaluationCache:
     """Bounded LRU memo-table with hit/miss counters."""
+
+    #: Whether this cache has a disk tier worth deriving ``disk_key``
+    #: digests for (overridden by TieredEvaluationCache).
+    persistent = False
 
     def __init__(self, max_entries: int = 100_000) -> None:
         if max_entries < 1:
@@ -23,8 +32,15 @@ class EvaluationCache:
         self.hits = 0
         self.misses = 0
 
-    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
-        """Return the cached value for ``key`` or compute and store it."""
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any],
+                       disk_key: Optional[str] = None) -> Any:
+        """Return the cached value for ``key`` or compute and store it.
+
+        ``disk_key`` identifies the entry in a persistent tier; the
+        in-memory cache has none, so it is accepted for interface
+        compatibility and ignored.
+        """
+        del disk_key
         if key in self._store:
             self.hits += 1
             self._store.move_to_end(key)

@@ -1,0 +1,390 @@
+"""Persistent cross-run disk tier for evaluation results.
+
+The inner mapping search dominates NAAS wall-clock, and its results are
+pure functions of their inputs: every ``search_mapping`` call inside
+:func:`repro.search.accelerator_search.evaluate_accelerator` is seeded
+with ``derive_seed(entropy, key)``, so what a (run-entropy, accelerator,
+layer-shape, encoding-style, budget, cost-params) tuple evaluates to
+never depends on cache state, evaluation order, or worker scheduling.
+That makes the results safe to persist and share across runs,
+experiments, and machines — this module provides the storage.
+
+Cache-key contract
+------------------
+The in-memory L1 keeps the narrow per-run key ``(accel, shape_key,
+mapping_style)``: within one run everything else (entropy, budget, cost
+parameters) is fixed, so the narrow key is unambiguous. The disk tier is
+shared *across* runs, where none of those are fixed, so its keys are
+:func:`content_digest` hashes over the full evaluation identity::
+
+    digest = blake2b(entropy, (accel, shape_key, style),
+                     MappingSearchBudget, CostParams)
+
+Hashing ``repr`` (like :func:`repro.utils.rng.derive_seed`) keeps the
+digest stable across processes and machines, unlike ``hash()`` under
+hash randomization. Including the budget and cost-model parameters means
+a run with a different :class:`MappingSearchBudget` or tuned
+:class:`CostParams` can never hit a stale entry computed under another
+configuration; including the run entropy means a cache hit returns
+bit-for-bit what that run would have computed cold. The price is that
+only runs sharing a seed share disk entries — exactly the repeated /
+resumed / re-parameterized runs the tier exists for.
+
+Storage layout
+--------------
+A cache directory holds append-only shard files, one per writing
+process (``shard-<pid>-<token>.bin``), so concurrent runs never contend
+on a file. Each record is ``magic | digest | length | crc32 | pickle``;
+readers scan every shard at open (and on :meth:`DiskCacheStore.refresh`)
+and stop a shard at the first incomplete or corrupt record — a torn
+tail from a crashed or still-writing process costs the entries behind
+it until the writer completes them, never an exception. Appends take an
+``flock`` exclusive lock where available as belt-and-braces.
+
+:class:`TieredEvaluationCache` layers the existing in-memory LRU
+(:class:`repro.search.cache.EvaluationCache`) as L1 over a
+:class:`DiskCacheStore` L2, conforming to the same
+``get_or_compute`` / ``snapshot`` / ``delta_since`` / ``merge``
+protocol, so :class:`repro.search.parallel.ParallelEvaluator` works
+unchanged. Its :meth:`~TieredEvaluationCache.snapshot` ships an *empty*
+L1 plus the store handle: pool workers open the store directly and
+read through to disk, so the outbound per-generation payload no longer
+pickles the full cache to every worker, and each worker appends the
+entries it computes to its own shard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple, Union
+
+from repro.search.cache import EvaluationCache
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+try:  # POSIX only; shards are per-process so the lock is belt-and-braces
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+_MAGIC = b"NAC1"
+_DIGEST_BYTES = 32  # blake2b(digest_size=16) hex-encoded
+#: magic | digest (hex ascii) | payload length | payload crc32
+_HEADER = struct.Struct(f"<4s{_DIGEST_BYTES}sQI")
+
+#: (pid, token) naming this process's shard file. One shard per writing
+#: process, however many store instances/snapshots it holds: pool
+#: workers reuse their shard across generations instead of littering
+#: the directory with per-batch files. The random token guards against
+#: pid collisions between hosts sharing a cache directory; the pid
+#: check re-rolls it after fork.
+_process_shard: Optional[Tuple[int, str]] = None
+
+
+def _shard_name() -> str:
+    global _process_shard
+    pid = os.getpid()
+    if _process_shard is None or _process_shard[0] != pid:
+        _process_shard = (pid, os.urandom(4).hex())
+    return f"shard-{pid}-{_process_shard[1]}.bin"
+
+
+def content_digest(*parts: Any) -> str:
+    """Stable content digest over ``repr`` of each part.
+
+    The disk-tier analogue of :func:`repro.utils.rng.derive_seed`:
+    deterministic across processes, machines, and interpreter restarts
+    for the frozen-dataclass/tuple/enum values the search layers use.
+    """
+    payload = "\x1f".join(repr(part) for part in parts)
+    return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+
+
+class DiskCacheStore:
+    """Append-only, crash-tolerant key/value store under one directory.
+
+    Every writing process appends to its own uniquely named shard file,
+    so concurrent runs sharing a directory cannot lose each other's
+    entries; readers see a shard's records up to its first incomplete
+    one and pick the rest up on the next :meth:`refresh`. Values are
+    pickled; keys are :func:`content_digest` strings. First write wins:
+    a digest already present is never rewritten.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: digest -> (shard path, payload offset, payload length)
+        self._index: Dict[str, Tuple[str, int, int]] = {}
+        #: shard path -> bytes consumed by clean records
+        self._scanned: Dict[str, int] = {}
+        #: shards with a confirmed-corrupt record: scanned once, then
+        #: skipped (their tail cannot be resynchronized anyway).
+        self._dead: set = set()
+        self._write_path: Optional[Path] = None
+        self._write_handle = None
+        self.refresh()
+
+    # ----- reading -----------------------------------------------------
+
+    def refresh(self) -> None:
+        """Scan shards for records appended since the last scan.
+
+        Picks up entries written by other processes sharing the
+        directory. Torn or corrupt tails stop the scan of that shard
+        (and are retried next refresh, in case a concurrent writer
+        simply had not finished the record yet).
+        """
+        for shard in sorted(self.directory.glob("shard-*.bin")):
+            self._scan_shard(shard)
+
+    def _scan_shard(self, shard: Path) -> None:
+        path = str(shard)
+        if path in self._dead:
+            return
+        offset = self._scanned.get(path, 0)
+        try:
+            size = shard.stat().st_size
+        except OSError:
+            return
+        if size <= offset:
+            return
+        try:
+            with open(shard, "rb") as handle:
+                handle.seek(offset)
+                while True:
+                    header = handle.read(_HEADER.size)
+                    if len(header) < _HEADER.size:
+                        break
+                    try:
+                        magic, digest_raw, length, crc = _HEADER.unpack(header)
+                    except struct.error:  # pragma: no cover - fixed size
+                        break
+                    if magic != _MAGIC:
+                        # Record boundaries cannot be resynchronized;
+                        # mark the shard dead so refresh() stops
+                        # rescanning (and re-warning about) it.
+                        self._dead.add(path)
+                        logger.warning(
+                            "corrupt record in %s at offset %d; "
+                            "entries behind it are unreachable", shard,
+                            offset)
+                        break
+                    payload = handle.read(length)
+                    if len(payload) < length:
+                        break  # torn tail: retry once the writer finishes
+                    if zlib.crc32(payload) != crc:
+                        self._dead.add(path)
+                        logger.warning(
+                            "checksum mismatch in %s at offset %d; "
+                            "entries behind it are unreachable", shard,
+                            offset)
+                        break
+                    # Digests are 32 hex chars; struct pads shorter
+                    # (test-only) keys with NULs, stripped here.
+                    digest = digest_raw.rstrip(b"\x00").decode(
+                        "ascii", errors="replace")
+                    self._index.setdefault(
+                        digest, (path, offset + _HEADER.size, length))
+                    offset += _HEADER.size + length
+                    self._scanned[path] = offset
+        except OSError as exc:
+            logger.warning("unreadable cache shard %s (%s); skipped",
+                           shard, exc)
+
+    def get(self, digest: str) -> Tuple[bool, Any]:
+        """Return ``(found, value)`` for a digest; misses are ``(False, None)``.
+
+        A record that can no longer be read (deleted shard, undecodable
+        pickle) degrades to a miss — the caller recomputes.
+        """
+        entry = self._index.get(digest)
+        if entry is None:
+            return False, None
+        path, offset, length = entry
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                payload = handle.read(length)
+            if len(payload) < length:
+                return False, None
+            return True, pickle.loads(payload)
+        except (OSError, pickle.PickleError, AttributeError, EOFError) as exc:
+            logger.warning("unreadable cache entry %s (%s); recomputing",
+                           digest, exc)
+            return False, None
+
+    # ----- writing -----------------------------------------------------
+
+    def put(self, digest: str, value: Any) -> None:
+        """Append one record to this process's shard (first write wins)."""
+        if digest in self._index:
+            return
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        record = _HEADER.pack(_MAGIC, digest.encode("ascii"), len(payload),
+                              zlib.crc32(payload)) + payload
+        handle = self._ensure_write_handle()
+        if fcntl is not None:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            # Other handles on this process's shard may have appended;
+            # seek to the true end before recording the offset.
+            handle.seek(0, os.SEEK_END)
+            offset = handle.tell()
+            handle.write(record)
+            handle.flush()
+        finally:
+            if fcntl is not None:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+        # _scanned is left to refresh(): another handle on this shard
+        # (same process) may have interleaved records before ours, and
+        # the scanner must not skip them.
+        path = str(self._write_path)
+        self._index[digest] = (path, offset + _HEADER.size, len(payload))
+
+    def _ensure_write_handle(self):
+        if self._write_handle is None:
+            self._write_path = self.directory / _shard_name()
+            self._write_handle = open(self._write_path, "ab")
+        return self._write_handle
+
+    # ----- plumbing ----------------------------------------------------
+
+    def clone(self) -> "DiskCacheStore":
+        """Handle on the same directory with a copied index and no
+        write state — what :meth:`TieredEvaluationCache.snapshot` ships
+        to workers (each unpickled clone appends to its own shard)."""
+        clone = object.__new__(DiskCacheStore)
+        clone.directory = self.directory
+        clone._index = dict(self._index)
+        clone._scanned = dict(self._scanned)
+        clone._dead = set(self._dead)
+        clone._write_path = None
+        clone._write_handle = None
+        return clone
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state["_write_path"] = None
+        state["_write_handle"] = None
+        return state
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._index
+
+    def close(self) -> None:
+        if self._write_handle is not None:
+            try:
+                self._write_handle.close()
+            finally:
+                self._write_handle = None
+
+
+class TieredEvaluationCache(EvaluationCache):
+    """In-memory LRU (L1) over a :class:`DiskCacheStore` (L2).
+
+    Drop-in for :class:`repro.search.cache.EvaluationCache` wherever the
+    caller supplies ``disk_key`` digests (see :func:`content_digest`):
+    an L1 miss falls through to disk, promotes hits into L1, and
+    persists fresh computations to the store. L2 hits count as ``hits``
+    (and separately as ``disk_hits``), so hit-rate reporting covers both
+    tiers.
+
+    Protocol notes for :class:`~repro.search.parallel.ParallelEvaluator`:
+
+    - :meth:`snapshot` returns a tiered cache with an **empty** L1 and a
+      refreshed store handle. Workers read through to disk instead of
+      receiving a pickled copy of every entry, and append what they
+      compute to their own shards.
+    - :meth:`delta_since` / :meth:`merge` are inherited: a worker's
+      delta carries its (small) L1 entries and counters back to the
+      master's L1. ``merge`` never rewrites the disk tier — the worker
+      that computed an entry already persisted it.
+    """
+
+    persistent = True
+
+    def __init__(self, store: DiskCacheStore,
+                 max_entries: int = 100_000) -> None:
+        super().__init__(max_entries=max_entries)
+        self.store = store
+        self.disk_hits = 0
+        #: L1 keys promoted from disk rather than computed here;
+        #: delta_since excludes them (the master can read them from the
+        #: store — shipping them back would re-pickle warm-run state).
+        self._promoted: set = set()
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any],
+                       disk_key: Optional[str] = None) -> Any:
+        if key in self._store:
+            self.hits += 1
+            self._store.move_to_end(key)
+            return self._store[key]
+        if disk_key is not None:
+            found, value = self.store.get(disk_key)
+            if found:
+                self.hits += 1
+                self.disk_hits += 1
+                self._promoted.add(key)
+                self._insert(key, value)
+                return value
+        self.misses += 1
+        value = compute()
+        self._insert(key, value)
+        if disk_key is not None:
+            self.store.put(disk_key, value)
+        return value
+
+    def _insert(self, key: Hashable, value: Any) -> None:
+        self._store[key] = value
+        if len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+
+    def delta_since(self, baseline_keys: frozenset) -> EvaluationCache:
+        """Entries this cache *computed* (disk-promoted ones excluded —
+        the master reads those from the shared store), stamped with
+        ``disk_hits`` so parallel runs report the tier's hit counts."""
+        delta = super().delta_since(
+            frozenset(baseline_keys) | frozenset(self._promoted))
+        delta.disk_hits = self.disk_hits
+        return delta
+
+    def merge(self, other: EvaluationCache) -> None:
+        super().merge(other)
+        self.disk_hits += getattr(other, "disk_hits", 0)
+
+    def clear(self) -> None:
+        super().clear()
+        self.disk_hits = 0
+        self._promoted.clear()
+
+    def snapshot(self) -> "TieredEvaluationCache":
+        """Worker view: empty L1, zeroed counters, fresh store index.
+
+        Unlike the base class this does *not* copy L1 entries — the
+        disk tier already holds everything L1 does (writes go through),
+        so shipping entries would only re-pickle state workers can read
+        from disk.
+        """
+        self.store.refresh()
+        return TieredEvaluationCache(store=self.store.clone(),
+                                     max_entries=self.max_entries)
+
+
+def build_cache(cache_dir: Union[str, Path, None] = None,
+                max_entries: int = 100_000) -> EvaluationCache:
+    """The cache a search run should use: tiered when ``cache_dir`` is
+    set, the plain in-memory LRU otherwise."""
+    if cache_dir is None:
+        return EvaluationCache(max_entries=max_entries)
+    return TieredEvaluationCache(DiskCacheStore(cache_dir),
+                                 max_entries=max_entries)

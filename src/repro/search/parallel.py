@@ -11,7 +11,11 @@ the ask/tell refactor plugs into:
 - Each worker task receives a :meth:`~repro.search.cache.EvaluationCache.snapshot`
   of the master cache taken at generation start; worker hit/miss counters
   and new entries are :meth:`~repro.search.cache.EvaluationCache.merge`-d
-  back after the batch completes.
+  back after the batch completes. With a
+  :class:`~repro.search.diskcache.TieredEvaluationCache` the snapshot is
+  an empty L1 plus a disk-store handle: workers read through to the
+  persistent tier and append what they compute to their own shard files,
+  so neither direction of a batch pickles the full cache.
 
 Determinism contract
 --------------------

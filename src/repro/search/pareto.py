@@ -16,9 +16,11 @@ from repro.accelerator.arch import AcceleratorConfig
 from repro.cost.model import CostModel
 from repro.nas.accuracy import AccuracyPredictor
 from repro.nas.ofa_space import ResNetArch
-from repro.nas.search import NASBudget, search_architecture
+from repro.nas.search import NASBudget, NASResult, search_architecture
+from repro.search.cache import EvaluationCache
 from repro.search.mapping_search import MappingSearchBudget
-from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+from repro.search.parallel import ParallelEvaluator
+from repro.utils.rng import SeedLike, ensure_rng, seed_entropy, spawn_rngs
 
 
 @dataclasses.dataclass(frozen=True)
@@ -71,6 +73,37 @@ def hypervolume(front: Sequence[FrontierPoint],
     return volume
 
 
+@dataclasses.dataclass(frozen=True)
+class _FloorTask:
+    """Picklable payload: one accuracy floor's full NAS run."""
+
+    accel: AcceleratorConfig
+    cost_model: CostModel
+    accuracy_floor: float
+    nas_budget: NASBudget
+    mapping_budget: MappingSearchBudget
+    entropy: int
+    predictor: AccuracyPredictor
+    cache_dir: Optional[str]
+
+
+def _search_floor(task: _FloorTask,
+                  cache: Optional[EvaluationCache]) -> NASResult:
+    """ParallelEvaluator worker: run the NAS loop for one floor.
+
+    Floors are independent runs with pre-derived entropies, so no cache
+    travels between them (``cache`` is always ``None`` here); each run
+    builds its own — tiered over the shared ``cache_dir`` store when
+    one is configured.
+    """
+    del cache
+    return search_architecture(
+        task.accel, task.cost_model, accuracy_floor=task.accuracy_floor,
+        budget=task.nas_budget, mapping_budget=task.mapping_budget,
+        seed=task.entropy, predictor=task.predictor, workers=1,
+        cache_dir=task.cache_dir)
+
+
 def sweep_accuracy_frontier(accel: AcceleratorConfig,
                             cost_model: CostModel,
                             accuracy_floors: Sequence[float],
@@ -78,20 +111,32 @@ def sweep_accuracy_frontier(accel: AcceleratorConfig,
                             mapping_budget: MappingSearchBudget = MappingSearchBudget(),
                             seed: SeedLike = None,
                             predictor: Optional[AccuracyPredictor] = None,
+                            workers: int = 1,
+                            cache_dir: Optional[str] = None,
                             ) -> List[FrontierPoint]:
     """Trace the accuracy/EDP frontier on fixed hardware.
 
     Runs the NAS loop once per accuracy floor; each run contributes its
     best point. The returned list is the non-dominated subset.
+    ``workers`` fans the (independent) per-floor runs out in parallel;
+    per-floor seeds are batch-derived before any run starts, so any
+    worker count returns the same frontier. ``cache_dir`` backs every
+    floor's run with the shared persistent disk tier.
     """
     rng = ensure_rng(seed)
     predictor = predictor or AccuracyPredictor()
+    floors = list(accuracy_floors)
+    entropies = [seed_entropy(floor_rng)
+                 for floor_rng in spawn_rngs(rng, len(floors))]
+    tasks = [_FloorTask(accel=accel, cost_model=cost_model,
+                        accuracy_floor=floor, nas_budget=nas_budget,
+                        mapping_budget=mapping_budget, entropy=entropy,
+                        predictor=predictor, cache_dir=cache_dir)
+             for floor, entropy in zip(floors, entropies)]
+    with ParallelEvaluator(_search_floor, workers=workers) as evaluator:
+        results = evaluator.evaluate(tasks)
     points: List[FrontierPoint] = []
-    for floor in accuracy_floors:
-        result = search_architecture(
-            accel, cost_model, accuracy_floor=floor, budget=nas_budget,
-            mapping_budget=mapping_budget, seed=spawn_rngs(rng, 1)[0],
-            predictor=predictor)
+    for floor, result in zip(floors, results):
         if result.found and math.isfinite(result.best_edp):
             points.append(FrontierPoint(
                 accuracy=result.best_accuracy, edp=result.best_edp,

@@ -14,7 +14,7 @@ from typing import Any, Dict, Union
 from repro.accelerator.arch import AcceleratorConfig
 from repro.errors import ReproError
 from repro.mapping.mapping import Mapping
-from repro.search.result import AcceleratorSearchResult
+from repro.search.result import AcceleratorSearchResult, IterationStats
 from repro.tensors.dims import Dim
 from repro.utils.serialization import dump_json, load_json, to_jsonable
 
@@ -75,13 +75,29 @@ def save_search_result(result: AcceleratorSearchResult,
     dump_json(payload, path)
 
 
+def stats_from_dict(payload: Dict[str, Any]) -> IterationStats:
+    """Rebuild an :class:`IterationStats` from its JSON form."""
+    try:
+        return IterationStats(
+            iteration=int(payload["iteration"]),
+            best_fitness=float(payload["best_fitness"]),
+            mean_fitness=float(payload["mean_fitness"]),
+            valid_count=int(payload["valid_count"]),
+            population=int(payload["population"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed iteration stats: {exc}") from exc
+
+
 def load_search_artifacts(path: Union[str, Path],
                           ) -> Dict[str, Any]:
     """Load a persisted search: typed config + mappings + metadata.
 
     Returns a dict with keys ``config`` (:class:`AcceleratorConfig`),
-    ``mappings`` ({layer name -> :class:`Mapping`}), ``reward`` and
-    ``evaluations``.
+    ``mappings`` ({layer name -> :class:`Mapping`}), ``reward``,
+    ``evaluations`` and ``history`` (tuple of :class:`IterationStats`;
+    empty for artifacts written before the field was persisted, which
+    used to be saved but silently dropped on load).
     """
     payload = load_json(path)
     try:
@@ -91,6 +107,8 @@ def load_search_artifacts(path: Union[str, Path],
                          for name, m in payload["best_mappings"].items()},
             "reward": float(payload["best_reward"]),
             "evaluations": int(payload["evaluations"]),
+            "history": tuple(stats_from_dict(stats)
+                             for stats in payload.get("history", [])),
         }
     except KeyError as exc:
         raise ReproError(f"missing field in search artifact: {exc}") from exc

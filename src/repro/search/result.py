@@ -40,6 +40,29 @@ class IterationStats:
 
 
 @dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """Evaluation-cache counters of one search run (both tiers).
+
+    ``disk_hits`` counts lookups served by the persistent tier when a
+    ``cache_dir`` was supplied (always 0 otherwise); they are included
+    in ``hits``. Parallel runs can legitimately report more misses than
+    serial ones — workers that miss the same key independently each
+    count one — so these statistics are reporting, not part of the
+    bit-identity contract.
+    """
+
+    hits: int
+    misses: int
+    disk_hits: int
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
 class MappingSearchResult:
     """Outcome of the inner (mapping) search for one layer."""
 
@@ -68,6 +91,12 @@ class AcceleratorSearchResult:
     best_mappings: Dict[str, Mapping]
     history: Tuple[IterationStats, ...]
     evaluations: int
+    #: Reporting only — excluded from equality because cache counters
+    #: legitimately differ between runs whose search results are
+    #: bit-identical (parallel runs double-count misses; warm runs hit
+    #: where cold runs miss).
+    cache_stats: Optional[CacheStats] = dataclasses.field(
+        default=None, compare=False)
 
     @property
     def found(self) -> bool:

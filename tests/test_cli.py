@@ -53,3 +53,18 @@ class TestCommands:
         assert payload["config"]["array_dims"]
         out = capsys.readouterr().out
         assert "EDP reduction" in out
+
+    def test_search_cache_dir_reports_hits_on_second_run(self, capsys,
+                                                         tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        args = ["search", "squeezenet", "shidiannao", "--seed", "0",
+                "--cache-dir", cache_dir]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "cache    : 100.0% hits" in second
+        # identical designs and gains, cold or warm
+        strip = lambda out: [line for line in out.splitlines()  # noqa: E731
+                             if not line.startswith("cache")]
+        assert strip(first) == strip(second)

@@ -12,10 +12,14 @@ from repro.nas.ofa_space import OFAResNetSpace
 from repro.nas.quantization import (
     QuantPolicy,
     QuantizedAccuracyPredictor,
+    _QuantTask,
+    _evaluate_quant_pair,
     quantize_subnet,
     search_quantized,
 )
+from repro.search.cache import EvaluationCache
 from repro.search.mapping_search import MappingSearchBudget
+from repro.utils.rng import ensure_rng
 
 
 @pytest.fixture
@@ -110,6 +114,35 @@ class TestQuantSearch:
             seed=1)
         assert not result.found
 
+    def test_deterministic(self):
+        kwargs = dict(accuracy_floor=74.0, population=4, iterations=2,
+                      mapping_budget=MappingSearchBudget(4, 2), seed=9)
+        a = search_quantized(baseline_preset("nvdla_256"), CostModel(),
+                             **kwargs)
+        b = search_quantized(baseline_preset("nvdla_256"), CostModel(),
+                             **kwargs)
+        assert a == b
+
+    def test_workers_do_not_change_results(self):
+        kwargs = dict(accuracy_floor=74.0, population=4, iterations=2,
+                      mapping_budget=MappingSearchBudget(4, 2), seed=9)
+        serial = search_quantized(baseline_preset("nvdla_256"), CostModel(),
+                                  workers=1, **kwargs)
+        parallel = search_quantized(baseline_preset("nvdla_256"), CostModel(),
+                                    workers=2, **kwargs)
+        assert serial == parallel
+
+    def test_cache_dir_repeat_run_is_bit_identical(self, tmp_path):
+        kwargs = dict(accuracy_floor=74.0, population=4, iterations=2,
+                      mapping_budget=MappingSearchBudget(4, 2), seed=9)
+        cold = search_quantized(baseline_preset("nvdla_256"), CostModel(),
+                                **kwargs)
+        first = search_quantized(baseline_preset("nvdla_256"), CostModel(),
+                                 cache_dir=tmp_path, **kwargs)
+        second = search_quantized(baseline_preset("nvdla_256"), CostModel(),
+                                  cache_dir=tmp_path, **kwargs)
+        assert cold == first == second
+
     def test_quantization_beats_uniform8_edp(self, space, cost_model):
         """With bits searchable, the best EDP is no worse than uniform 8."""
         accel = baseline_preset("nvdla_256")
@@ -123,3 +156,79 @@ class TestQuantSearch:
             mapping_budget=MappingSearchBudget(population=4, iterations=2),
             seed=2)
         assert result.best_edp <= uniform_cost.edp
+
+
+class _VanishingFloorPredictor(QuantizedAccuracyPredictor):
+    """Admits the first ``admit_calls`` queries, rejects all later ones.
+
+    Models the pathological regime the refill loop used to hang on:
+    the initial population is admissible, but once the floor tightens
+    (here: permanently, after the initial samples) neither mutated
+    children nor fresh samples ever pass again.
+    """
+
+    def __init__(self, admit_calls: int) -> None:
+        super().__init__()
+        self.calls = 0
+        self.admit_calls = admit_calls
+
+    def predict(self, arch, policy):
+        self.calls += 1
+        return 100.0 if self.calls <= self.admit_calls else -100.0
+
+
+class TestQuantSearchRegressions:
+    def _task(self, pair, entropy):
+        return _QuantTask(arch=pair[0], policy=pair[1],
+                          accel=baseline_preset("nvdla_256"),
+                          cost_model=CostModel(),
+                          mapping_budget=MappingSearchBudget(4, 2),
+                          entropy=entropy)
+
+    def test_reward_independent_of_evaluation_order(self, space):
+        """Regression: evaluation seeds used to be drawn from the parent
+        stream inside the loop, so a pair's reward depended on where in
+        the population it sat. Seeds now derive from the run entropy and
+        the cache key, making the reward a pure function of the pair."""
+        rng = ensure_rng(0)
+        pair_a = (space.sample(seed=rng), QuantPolicy.uniform(8))
+        pair_b = (space.sample(seed=rng), QuantPolicy.uniform(4))
+        entropy = 1234
+
+        def rewards(pairs):
+            return {id(pair): _evaluate_quant_pair(self._task(pair, entropy),
+                                                   None)
+                    for pair in pairs}
+
+        forward = rewards([pair_a, pair_b])
+        backward = rewards([pair_b, pair_a])
+        assert forward[id(pair_a)] == backward[id(pair_a)]
+        assert forward[id(pair_b)] == backward[id(pair_b)]
+
+    def test_cache_hit_matches_fresh_computation(self, space):
+        """Regression: a cache hit used to return a value computed under
+        a different seed than a fresh computation would use."""
+        rng = ensure_rng(1)
+        pair = (space.sample(seed=rng), QuantPolicy.uniform(8))
+        other = (space.sample(seed=rng), QuantPolicy.uniform(16))
+        entropy = 99
+        fresh = _evaluate_quant_pair(self._task(pair, entropy), None)
+        cache = EvaluationCache()
+        _evaluate_quant_pair(self._task(other, entropy), cache)
+        _evaluate_quant_pair(self._task(pair, entropy), cache)  # populate
+        warm = _evaluate_quant_pair(self._task(pair, entropy), cache)
+        assert warm == fresh
+
+    def test_refill_starvation_terminates(self):
+        """Regression: the refill loop used to spin forever when every
+        mutated child failed the floor and sample_pair could not help;
+        it must return the best design found so far instead."""
+        predictor = _VanishingFloorPredictor(admit_calls=3)
+        result = search_quantized(
+            baseline_preset("nvdla_256"), CostModel(), accuracy_floor=74.0,
+            population=3, iterations=2,
+            mapping_budget=MappingSearchBudget(population=2, iterations=1),
+            seed=0, predictor=predictor)
+        assert result.found
+        assert result.evaluations >= 3  # generation 0 fully evaluated
+        assert math.isfinite(result.best_edp)

@@ -1,0 +1,374 @@
+"""Tests for the persistent cross-run evaluation cache tier."""
+
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.accelerator.presets import baseline_constraint, baseline_preset
+from repro.cost.config import CostParams
+from repro.cost.model import CostModel
+from repro.search.accelerator_search import (
+    NAASBudget,
+    evaluate_accelerator,
+    search_accelerator,
+)
+from repro.search.cache import EvaluationCache
+from repro.search.diskcache import (
+    DiskCacheStore,
+    TieredEvaluationCache,
+    build_cache,
+    content_digest,
+)
+from repro.search.mapping_search import MappingSearchBudget
+from repro.tensors.network import Network
+
+TINY = NAASBudget(accel_population=4, accel_iterations=2,
+                  mapping=MappingSearchBudget(population=4, iterations=2))
+
+
+class TestContentDigest:
+    def test_stable_for_equal_parts(self):
+        assert content_digest(1, ("a", 2)) == content_digest(1, ("a", 2))
+
+    def test_sensitive_to_each_part(self):
+        base = content_digest(1, "key", MappingSearchBudget(4, 2))
+        assert content_digest(2, "key", MappingSearchBudget(4, 2)) != base
+        assert content_digest(1, "other", MappingSearchBudget(4, 2)) != base
+        assert content_digest(1, "key", MappingSearchBudget(8, 2)) != base
+
+    def test_cost_params_participate(self):
+        assert content_digest(CostParams()) != \
+            content_digest(CostParams(dram_pj_per_byte=1.0))
+
+
+class TestDiskCacheStore:
+    def test_round_trip(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        digest = content_digest("k")
+        store.put(digest, {"value": 42})
+        assert store.get(digest) == (True, {"value": 42})
+        assert digest in store
+
+    def test_miss(self, tmp_path):
+        assert DiskCacheStore(tmp_path).get("missing") == (False, None)
+
+    def test_persists_across_reopen(self, tmp_path):
+        digest = content_digest("k")
+        DiskCacheStore(tmp_path).put(digest, [1, 2, 3])
+        reopened = DiskCacheStore(tmp_path)
+        assert reopened.get(digest) == (True, [1, 2, 3])
+        assert len(reopened) == 1
+
+    def test_first_write_wins(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        digest = content_digest("k")
+        store.put(digest, "first")
+        store.put(digest, "second")
+        assert store.get(digest) == (True, "first")
+        assert DiskCacheStore(tmp_path).get(digest) == (True, "first")
+
+    def test_concurrent_stores_do_not_lose_entries(self, tmp_path):
+        """Two handles on one directory writing interleaved (same-process
+        handles share a locked shard; distinct processes get distinct
+        shards); nobody's entries are lost."""
+        a, b = DiskCacheStore(tmp_path), DiskCacheStore(tmp_path)
+        for i in range(10):
+            (a if i % 2 else b).put(content_digest(i), i)
+        merged = DiskCacheStore(tmp_path)
+        assert len(merged) == 10
+        for i in range(10):
+            assert merged.get(content_digest(i)) == (True, i)
+
+    def test_refresh_picks_up_other_writers(self, tmp_path):
+        reader = DiskCacheStore(tmp_path)
+        writer = DiskCacheStore(tmp_path)
+        digest = content_digest("late")
+        writer.put(digest, "late-value")
+        assert reader.get(digest) == (False, None)
+        reader.refresh()
+        assert reader.get(digest) == (True, "late-value")
+
+    def test_truncated_tail_is_skipped_not_fatal(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        good, bad = content_digest("good"), content_digest("bad")
+        store.put(good, "ok")
+        store.put(bad, "will be torn")
+        shard = next(tmp_path.glob("shard-*.bin"))
+        data = shard.read_bytes()
+        shard.write_bytes(data[:-3])  # tear the last record's payload
+        reopened = DiskCacheStore(tmp_path)
+        assert reopened.get(good) == (True, "ok")
+        assert reopened.get(bad) == (False, None)
+
+    def test_corrupt_garbage_file_is_skipped_not_fatal(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        good = content_digest("good")
+        store.put(good, "ok")
+        (tmp_path / "shard-9999-dead.bin").write_bytes(b"not a record" * 10)
+        reopened = DiskCacheStore(tmp_path)
+        assert reopened.get(good) == (True, "ok")
+        assert len(reopened) == 1
+
+    def test_corrupt_checksum_stops_that_shard_only(self, tmp_path):
+        """A crc-corrupt shard (here: another process's) is dropped
+        without affecting clean shards."""
+        store = DiskCacheStore(tmp_path)
+        digest = content_digest("flip")
+        store.put(digest, "payload")
+        store.close()
+        shard = next(tmp_path.glob("shard-*.bin"))
+        data = bytearray(shard.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload byte -> crc mismatch
+        # move the damaged shard under another process's name
+        shard.rename(tmp_path / "shard-99999-beef.bin")
+        (tmp_path / "shard-99999-beef.bin").write_bytes(bytes(data))
+        clean = DiskCacheStore(tmp_path)  # this process's (new) shard
+        good = content_digest("good")
+        clean.put(good, "ok")
+        reopened = DiskCacheStore(tmp_path)
+        assert reopened.get(digest) == (False, None)
+        assert reopened.get(good) == (True, "ok")
+
+    def test_pickled_store_appends_to_this_process_shard(self, tmp_path):
+        """Store handles in one process share a single shard file, so
+        per-generation snapshots don't litter the directory; entries
+        from every handle survive."""
+        store = DiskCacheStore(tmp_path)
+        store.put(content_digest("parent"), 1)
+        clone = pickle.loads(pickle.dumps(store))
+        clone.put(content_digest("child"), 2)
+        assert len(list(tmp_path.glob("shard-*.bin"))) == 1
+        merged = DiskCacheStore(tmp_path)
+        assert len(merged) == 2
+        assert merged.get(content_digest("parent")) == (True, 1)
+        assert merged.get(content_digest("child")) == (True, 2)
+
+    def test_corrupt_shard_scanned_once_then_skipped(self, tmp_path, caplog):
+        """A confirmed-corrupt shard is marked dead: one warning, no
+        rescan (and no repeated warning) on later refreshes."""
+        import logging
+        store = DiskCacheStore(tmp_path)
+        store.put(content_digest("k"), "v")
+        store.close()
+        shard = next(tmp_path.glob("shard-*.bin"))
+        data = bytearray(shard.read_bytes())
+        data[0] ^= 0xFF  # clobber the magic
+        shard.write_bytes(bytes(data))
+        with caplog.at_level(logging.WARNING):
+            reader = DiskCacheStore(tmp_path)
+            reader.refresh()
+            reader.refresh()
+        warnings = [r for r in caplog.records
+                    if "corrupt record" in r.getMessage()]
+        assert len(warnings) == 1
+        assert len(reader) == 0
+
+
+class TestTieredEvaluationCache:
+    def test_plain_cache_ignores_disk_key(self):
+        cache = EvaluationCache()
+        assert cache.get_or_compute("k", lambda: 1, disk_key="d") == 1
+        assert cache.persistent is False
+
+    def test_miss_computes_and_persists(self, tmp_path):
+        cache = build_cache(tmp_path)
+        assert cache.persistent is True
+        assert cache.get_or_compute("k", lambda: 41, disk_key="d" * 32) == 41
+        assert cache.misses == 1
+        # a fresh tiered cache over the same directory hits disk
+        fresh = build_cache(tmp_path)
+        assert fresh.get_or_compute("k", lambda: -1, disk_key="d" * 32) == 41
+        assert fresh.disk_hits == 1
+        assert fresh.hits == 1
+
+    def test_l1_hit_does_not_touch_disk(self, tmp_path):
+        cache = build_cache(tmp_path)
+        cache.get_or_compute("k", lambda: 1, disk_key="d" * 32)
+        cache.get_or_compute("k", lambda: -1, disk_key="d" * 32)
+        assert cache.hits == 1
+        assert cache.disk_hits == 0
+
+    def test_no_disk_key_stays_in_memory(self, tmp_path):
+        cache = build_cache(tmp_path)
+        cache.get_or_compute("k", lambda: 1)
+        assert len(cache.store) == 0
+
+    def test_snapshot_ships_empty_l1_and_reads_through(self, tmp_path):
+        cache = build_cache(tmp_path)
+        cache.get_or_compute("k", lambda: 7, disk_key="d" * 32)
+        snap = cache.snapshot()
+        assert len(snap) == 0  # no entries pickled to workers
+        assert snap.get_or_compute("k", lambda: -1, disk_key="d" * 32) == 7
+        assert snap.disk_hits == 1
+
+    def test_delta_merge_returns_worker_entries(self, tmp_path):
+        master = build_cache(tmp_path)
+        worker = master.snapshot()
+        baseline = worker.keys()
+        worker.get_or_compute("new", lambda: 5, disk_key="e" * 32)
+        master.merge(worker.delta_since(baseline))
+        assert master.get_or_compute("new", lambda: -1) == 5
+        # the worker persisted the entry; master's next snapshot sees it
+        assert master.snapshot().store.get("e" * 32) == (True, 5)
+
+    def test_delta_excludes_disk_promoted_entries(self, tmp_path):
+        """A warm worker only reads from disk; its return delta must not
+        re-pickle those entries (the master reads the shared store), but
+        its hit counters must still travel."""
+        master = build_cache(tmp_path)
+        master.get_or_compute("k", lambda: 3, disk_key="f" * 32)
+        worker = master.snapshot()
+        baseline = worker.keys()
+        assert worker.get_or_compute("k", lambda: -1, disk_key="f" * 32) == 3
+        worker.get_or_compute("fresh", lambda: 9, disk_key="a" * 32)
+        delta = worker.delta_since(baseline)
+        assert delta.keys() == frozenset({"fresh"})
+        assert delta.hits == 1
+        assert delta.disk_hits == 1
+        before_hits = master.hits
+        master.merge(delta)
+        assert master.hits == before_hits + 1
+        assert master.disk_hits == 1
+
+    def test_build_cache_without_dir_is_plain(self):
+        assert type(build_cache(None)) is EvaluationCache
+
+
+@pytest.fixture
+def tiny_network(small_layer, pointwise_layer):
+    return Network(name="tiny", layers=(small_layer, pointwise_layer))
+
+
+class TestEvaluateAcceleratorDiskTier:
+    def test_warm_run_matches_cold(self, tiny_network, cost_model, tmp_path):
+        preset = baseline_preset("nvdla_256")
+        budget = MappingSearchBudget(4, 2)
+        cold, cold_costs, _ = evaluate_accelerator(
+            preset, [tiny_network], cost_model, budget, seed=7)
+        evaluate_accelerator(preset, [tiny_network], cost_model, budget,
+                             seed=7, cache=build_cache(tmp_path))
+        warm_cache = build_cache(tmp_path)
+        warm, warm_costs, _ = evaluate_accelerator(
+            preset, [tiny_network], cost_model, budget, seed=7,
+            cache=warm_cache)
+        assert warm == cold
+        assert warm_costs[tiny_network.name].edp == \
+            cold_costs[tiny_network.name].edp
+        assert warm_cache.disk_hits == len(tiny_network.unique_shapes())
+        assert warm_cache.misses == 0
+
+    def test_different_budget_never_hits_stale_entries(
+            self, tiny_network, cost_model, tmp_path):
+        """The in-memory key omits the budget; the disk digest must not,
+        or a re-parameterized run would silently reuse results computed
+        under another budget."""
+        preset = baseline_preset("nvdla_256")
+        evaluate_accelerator(preset, [tiny_network], cost_model,
+                             MappingSearchBudget(4, 2), seed=7,
+                             cache=build_cache(tmp_path))
+        other_budget = MappingSearchBudget(population=6, iterations=3)
+        fresh, _, _ = evaluate_accelerator(
+            preset, [tiny_network], cost_model, other_budget, seed=7)
+        warm_cache = build_cache(tmp_path)
+        warm, _, _ = evaluate_accelerator(
+            preset, [tiny_network], cost_model, other_budget, seed=7,
+            cache=warm_cache)
+        assert warm_cache.disk_hits == 0
+        assert warm == fresh
+
+    def test_different_seed_never_hits_stale_entries(
+            self, tiny_network, cost_model, tmp_path):
+        preset = baseline_preset("nvdla_256")
+        budget = MappingSearchBudget(4, 2)
+        evaluate_accelerator(preset, [tiny_network], cost_model, budget,
+                             seed=7, cache=build_cache(tmp_path))
+        fresh, _, _ = evaluate_accelerator(
+            preset, [tiny_network], cost_model, budget, seed=8)
+        warm_cache = build_cache(tmp_path)
+        warm, _, _ = evaluate_accelerator(
+            preset, [tiny_network], cost_model, budget, seed=8,
+            cache=warm_cache)
+        assert warm_cache.disk_hits == 0
+        assert warm == fresh
+
+
+class TestSearchAcceleratorDiskTier:
+    def test_repeat_run_hits_and_matches_cold(self, tiny_network, cost_model,
+                                              small_constraint, tmp_path):
+        """The acceptance bar: a repeated --cache-dir run reports >90%
+        cache hits and bit-identical results to the cold run."""
+        kwargs = dict(budget=TINY, seed=11)
+        cold = search_accelerator([tiny_network], small_constraint,
+                                  cost_model, **kwargs)
+        first = search_accelerator([tiny_network], small_constraint,
+                                   cost_model, cache_dir=tmp_path, **kwargs)
+        second = search_accelerator([tiny_network], small_constraint,
+                                    cost_model, cache_dir=tmp_path, **kwargs)
+        assert first.best_reward == cold.best_reward
+        assert second.best_reward == cold.best_reward
+        assert second.best_config == cold.best_config
+        assert second.history == cold.history
+        assert second.cache_stats.hit_rate > 0.9
+        assert second.cache_stats.disk_hits > 0
+        assert second.cache_stats.misses == 0
+
+    def test_warm_parallel_matches_cold_parallel(self, tiny_network,
+                                                 cost_model, small_constraint,
+                                                 tmp_path):
+        kwargs = dict(budget=TINY, seed=11)
+        cold = search_accelerator([tiny_network], small_constraint,
+                                  cost_model, workers=2, **kwargs)
+        search_accelerator([tiny_network], small_constraint, cost_model,
+                           cache_dir=tmp_path, workers=2, **kwargs)
+        warm = search_accelerator([tiny_network], small_constraint,
+                                  cost_model, cache_dir=tmp_path, workers=2,
+                                  **kwargs)
+        assert warm.best_reward == cold.best_reward
+        assert warm.best_config == cold.best_config
+        assert warm.history == cold.history
+
+    def test_cross_process_reuse(self, tmp_path):
+        """Two sequential interpreter invocations share the store: the
+        second reports >90% hits and an identical best design."""
+        script = (
+            "import sys\n"
+            "from repro.accelerator.presets import baseline_constraint, "
+            "baseline_preset\n"
+            "from repro.cost.model import CostModel\n"
+            "from repro.search.accelerator_search import NAASBudget, "
+            "search_accelerator\n"
+            "from repro.search.mapping_search import MappingSearchBudget\n"
+            "from repro.tensors.layer import ConvLayer\n"
+            "from repro.tensors.network import Network\n"
+            "net = Network(name='n', layers=(ConvLayer(name='c1', k=32, "
+            "c=16, y=14, x=14, r=3, s=3),))\n"
+            "result = search_accelerator([net], "
+            "baseline_constraint('nvdla_256'), CostModel(), "
+            "budget=NAASBudget(accel_population=4, accel_iterations=2, "
+            "mapping=MappingSearchBudget(4, 2)), seed=5, "
+            "cache_dir=sys.argv[1])\n"
+            "print(f'reward={result.best_reward!r}')\n"
+            "print(f'config={result.best_config!r}')\n"
+            "print(f'hit_rate={result.cache_stats.hit_rate!r}')\n"
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+        def invoke():
+            proc = subprocess.run(
+                [sys.executable, "-c", script, str(tmp_path)],
+                capture_output=True, text=True, env=env, timeout=300)
+            assert proc.returncode == 0, proc.stderr
+            return dict(line.split("=", 1)
+                        for line in proc.stdout.strip().splitlines())
+
+        first, second = invoke(), invoke()
+        assert second["reward"] == first["reward"]
+        assert second["config"] == first["config"]
+        assert eval(second["hit_rate"]) > 0.9  # noqa: S307 - our own repr
+        assert eval(first["hit_rate"]) == 0.0

@@ -94,3 +94,33 @@ class TestSweep:
             mapping_budget=MappingSearchBudget(population=4, iterations=2),
             seed=1)
         assert max(p.accuracy for p in front) >= 78.5
+
+    def test_workers_do_not_change_results(self):
+        """Per-floor seeds are batch-derived before any run starts, so
+        any worker count traces a bit-identical frontier."""
+        kwargs = dict(
+            accuracy_floors=[72.0, 76.0],
+            nas_budget=NASBudget(population=4, iterations=2),
+            mapping_budget=MappingSearchBudget(population=4, iterations=2),
+            seed=4)
+        serial = sweep_accuracy_frontier(
+            baseline_preset("nvdla_256"), CostModel(), workers=1, **kwargs)
+        parallel = sweep_accuracy_frontier(
+            baseline_preset("nvdla_256"), CostModel(), workers=2, **kwargs)
+        assert serial == parallel
+
+    def test_cache_dir_repeat_sweep_is_bit_identical(self, tmp_path):
+        kwargs = dict(
+            accuracy_floors=[72.0, 76.0],
+            nas_budget=NASBudget(population=4, iterations=2),
+            mapping_budget=MappingSearchBudget(population=4, iterations=2),
+            seed=4)
+        cold = sweep_accuracy_frontier(
+            baseline_preset("nvdla_256"), CostModel(), **kwargs)
+        first = sweep_accuracy_frontier(
+            baseline_preset("nvdla_256"), CostModel(), cache_dir=tmp_path,
+            **kwargs)
+        second = sweep_accuracy_frontier(
+            baseline_preset("nvdla_256"), CostModel(), cache_dir=tmp_path,
+            **kwargs)
+        assert cold == first == second

@@ -1,5 +1,7 @@
 """Tests for search-result persistence."""
 
+import json
+
 import pytest
 
 from repro.accelerator.presets import baseline_constraint, baseline_preset
@@ -16,7 +18,7 @@ from repro.search.persist import (
     mapping_to_dict,
     save_search_result,
 )
-from repro.search.result import AcceleratorSearchResult
+from repro.search.result import AcceleratorSearchResult, IterationStats
 from repro.tensors.network import Network
 
 
@@ -54,6 +56,8 @@ class TestEndToEnd:
         loaded = load_search_artifacts(path)
         assert loaded["config"] == result.best_config
         assert loaded["reward"] == result.best_reward
+        # regression: history used to be saved but dropped on load
+        assert loaded["history"] == result.history
         # reloaded mappings evaluate to the same cost
         reloaded = loaded["mappings"][small_layer.name]
         model = CostModel()
@@ -63,6 +67,37 @@ class TestEndToEnd:
         reloaded_cost = model.evaluate(small_layer, loaded["config"],
                                        reloaded)
         assert reloaded_cost.edp == original_cost.edp
+
+    def test_history_round_trips_typed(self, tmp_path, small_layer,
+                                       cost_model):
+        network = Network(name="n", layers=(small_layer,))
+        result = search_accelerator(
+            [network], baseline_constraint("nvdla_256"), cost_model,
+            budget=NAASBudget(accel_population=4, accel_iterations=3,
+                              mapping=MappingSearchBudget(4, 2)),
+            seed=1)
+        path = tmp_path / "design.json"
+        save_search_result(result, path)
+        history = load_search_artifacts(path)["history"]
+        assert len(history) == 3
+        assert all(isinstance(stats, IterationStats) for stats in history)
+        assert history == result.history
+
+    def test_artifact_without_history_loads_empty(self, tmp_path,
+                                                  small_layer, cost_model):
+        """Artifacts written before history was persisted still load."""
+        network = Network(name="n", layers=(small_layer,))
+        result = search_accelerator(
+            [network], baseline_constraint("nvdla_256"), cost_model,
+            budget=NAASBudget(accel_population=4, accel_iterations=2,
+                              mapping=MappingSearchBudget(4, 2)),
+            seed=0)
+        path = tmp_path / "design.json"
+        save_search_result(result, path)
+        payload = json.loads(path.read_text())
+        del payload["history"]
+        path.write_text(json.dumps(payload))
+        assert load_search_artifacts(path)["history"] == ()
 
     def test_refuses_failed_search(self, tmp_path):
         empty = AcceleratorSearchResult(
