@@ -34,8 +34,64 @@ from repro.experiments.config import get_profile
 from repro.mapping.builders import dataflow_preserving_mapping
 from repro.models import MODEL_BUILDERS, build_model
 from repro.search.accelerator_search import search_accelerator
+from repro.search.parallel import SCHEDULES
 from repro.utils.serialization import to_jsonable
 from repro.utils.tables import render_table
+
+
+def _bounded_int(flag: str, minimum: int, hint: str = ""):
+    """argparse type factory: an integer with a validated lower bound."""
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"invalid {flag} value {text!r}: expected an integer")
+        if value < minimum:
+            suffix = f"; {hint}" if hint else ""
+            raise argparse.ArgumentTypeError(
+                f"{flag} must be >= {minimum} (got {value}){suffix}")
+        return value
+    return parse
+
+
+#: ``--workers``: non-negative int, 0 = one process per core.
+_workers_count = _bounded_int("--workers", 0, hint="use 0 to run on every core")
+#: ``--shards``: positive int.
+_shards_count = _bounded_int("--shards", 1)
+
+
+def _add_execution_args(parser: argparse.ArgumentParser) -> None:
+    """The execution-model flags shared by ``search`` and ``experiment``.
+
+    Every combination of the four returns bit-identical search results;
+    they only trade wall-clock and cache traffic (see
+    :mod:`repro.search.parallel`).
+    """
+    parser.add_argument("--workers", type=_workers_count, default=1,
+                        help="parallel evaluation processes; 0 means "
+                             "one per CPU core (results are identical "
+                             "for any worker count)")
+    parser.add_argument("--schedule", choices=SCHEDULES, default="batched",
+                        help="evaluation schedule: 'batched' maps one "
+                             "chunk per worker (default); 'async' "
+                             "submits candidates individually and "
+                             "refills worker slots the moment they "
+                             "free up, which wins when per-candidate "
+                             "cost is skewed (results are identical "
+                             "either way)")
+    parser.add_argument("--shards", type=_shards_count, default=1,
+                        help="split each generation across this many "
+                             "logical shards, each evaluating its "
+                             "slice against its own cache snapshot "
+                             "with a deterministic reduce (results are "
+                             "identical for any shard count)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent evaluation-cache directory, "
+                             "shared across runs and concurrent "
+                             "processes; a repeated run with the same "
+                             "seed reuses every mapping-search result "
+                             "and returns bit-identical designs")
 
 
 def _cmd_models(_args: argparse.Namespace) -> int:
@@ -104,7 +160,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
     result = search_accelerator(
         [network], baseline_constraint(args.preset), cost_model,
         budget=profile.naas, seed=args.seed, seed_configs=[preset],
-        workers=args.workers, cache_dir=args.cache_dir)
+        workers=args.workers, cache_dir=args.cache_dir,
+        schedule=args.schedule, shards=args.shards)
     if not result.found:
         print("search found no valid design", file=sys.stderr)
         return 1
@@ -137,7 +194,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     result = run_experiment(args.name, profile=args.profile, seed=args.seed,
-                            workers=args.workers, cache_dir=args.cache_dir)
+                            workers=args.workers, cache_dir=args.cache_dir,
+                            schedule=args.schedule, shards=args.shards)
     print(result.render())
     return 0 if result.all_claims_hold else 1
 
@@ -164,16 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--profile", default="",
                         help="budget profile (quick/full/paper)")
     search.add_argument("--seed", type=int, default=0)
-    search.add_argument("--workers", type=int, default=1,
-                        help="parallel evaluation processes "
-                             "(0 = all cores; results are identical "
-                             "for any worker count)")
-    search.add_argument("--cache-dir", default=None,
-                        help="persistent evaluation-cache directory, "
-                             "shared across runs and concurrent "
-                             "processes; a repeated run with the same "
-                             "seed reuses every mapping-search result "
-                             "and returns bit-identical designs")
+    _add_execution_args(search)
     search.add_argument("--output", help="write best design JSON here")
 
     experiment = sub.add_parser("experiment",
@@ -181,12 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
     experiment.add_argument("--profile", default="")
     experiment.add_argument("--seed", type=int, default=0)
-    experiment.add_argument("--workers", type=int, default=1,
-                            help="parallel evaluation processes "
-                                 "(0 = all cores)")
-    experiment.add_argument("--cache-dir", default=None,
-                            help="persistent evaluation-cache directory "
-                                 "(see `search --cache-dir`)")
+    _add_execution_args(experiment)
 
     return parser
 

@@ -14,7 +14,7 @@ from repro.search.accelerator_search import evaluate_accelerator
 from repro.search.cache import EvaluationCache
 from repro.search.diskcache import build_cache
 from repro.search.mapping_search import MappingSearchBudget
-from repro.search.parallel import ParallelEvaluator
+from repro.search.parallel import build_evaluator
 from repro.tensors.network import Network
 from repro.utils.mathutils import geomean
 from repro.utils.rng import SeedLike, seed_entropy
@@ -66,12 +66,15 @@ def tuned_baseline_costs(preset_name: str,
                          seed: SeedLike = None,
                          workers: int = 1,
                          cache_dir: Optional[str] = None,
+                         schedule: str = "batched",
+                         shards: int = 1,
                          ) -> Dict[str, NetworkCost]:
     """Per-network cost of a baseline preset with *searched* mappings.
 
     A stronger (conservative) baseline than :func:`baseline_costs`: the
     preset gets the same mapping-search budget as NAAS candidates.
-    Networks are independent, so ``workers`` fans them out in parallel;
+    Networks are independent, so ``workers`` fans them out in parallel
+    (any ``schedule``/``shards`` combination returns the same costs);
     unmappable networks are omitted from the result. ``cache_dir``
     persists the tuned mappings across runs via the disk tier.
     """
@@ -81,8 +84,9 @@ def tuned_baseline_costs(preset_name: str,
                           cost_model=cost_model,
                           mapping_budget=mapping_budget, entropy=entropy)
              for network in networks]
-    with ParallelEvaluator(_tune_network, workers=workers,
-                           cache=build_cache(cache_dir)) as evaluator:
+    with build_evaluator(_tune_network, workers=workers,
+                         cache=build_cache(cache_dir), schedule=schedule,
+                         shards=shards) as evaluator:
         outcomes = evaluator.evaluate(tasks)
     return {network.name: cost
             for network, cost in zip(networks, outcomes) if cost is not None}

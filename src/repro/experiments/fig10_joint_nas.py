@@ -47,7 +47,9 @@ PAPER = {
 
 
 def run(profile: str = "", seed: int = 0, workers: int = 1,
-        cache_dir: Optional[str] = None) -> ExperimentResult:
+        cache_dir: Optional[str] = None,
+        schedule: str = "batched", shards: int = 1,
+        ) -> ExperimentResult:
     """Produce the four (accuracy, normalized EDP) points."""
     budgets = get_profile(profile)
     rng = ensure_rng(seed)
@@ -78,7 +80,8 @@ def run(profile: str = "", seed: int = 0, workers: int = 1,
         # Point 3: NAAS accelerator+mapping search, fixed ResNet-50.
         accel_only = search_accelerator(
             [resnet], constraint, cost_model, budget=budgets.naas, seed=rng,
-            seed_configs=[preset], workers=workers, cache_dir=cache_dir)
+            seed_configs=[preset], workers=workers, cache_dir=cache_dir,
+            schedule=schedule, shards=shards)
 
         # Point 4: full joint search.
         joint = search_joint(
@@ -89,7 +92,7 @@ def run(profile: str = "", seed: int = 0, workers: int = 1,
                 accel_iterations=max(2, budgets.naas.accel_iterations - 1),
                 nas=budgets.nas, mapping=budgets.naas.mapping),
             seed=rng, predictor=predictor, workers=workers,
-            cache_dir=cache_dir)
+            cache_dir=cache_dir, schedule=schedule, shards=shards)
 
     def normalized(edp: float) -> float:
         return edp / base_edp

@@ -33,7 +33,9 @@ PAIRED_RUNS = 3
 
 
 def run(profile: str = "", seed: int = 0, workers: int = 1,
-        cache_dir: Optional[str] = None) -> ExperimentResult:
+        cache_dir: Optional[str] = None,
+        schedule: str = "batched", shards: int = 1,
+        ) -> ExperimentResult:
     """Run paired searches and tabulate per-iteration population means."""
     budgets = get_profile(profile)
     rng = ensure_rng(seed)
@@ -53,11 +55,13 @@ def run(profile: str = "", seed: int = 0, workers: int = 1,
             run_seed = int(rng.integers(2**31))
             naas_runs.append(search_accelerator(
                 [network], constraint, cost_model, budget=budget,
-                seed=run_seed, workers=workers, cache_dir=cache_dir))
+                seed=run_seed, workers=workers, cache_dir=cache_dir,
+                schedule=schedule, shards=shards))
             random_runs.append(search_accelerator(
                 [network], constraint, cost_model, budget=budget,
                 seed=run_seed, engine_cls=RandomEngine, workers=workers,
-                cache_dir=cache_dir))
+                cache_dir=cache_dir,
+                schedule=schedule, shards=shards))
 
     # The table shows the first pair's trajectories, normalized to the
     # random search's first-iteration mean (the paper plots normalized

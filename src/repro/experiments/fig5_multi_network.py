@@ -54,7 +54,9 @@ def _benchmark_set(kind: str):
 def run(profile: str = "", seed: int = 0,
         scenarios: Sequence[Tuple[str, str]] = SCENARIOS,
         workers: int = 1,
-        cache_dir: Optional[str] = None) -> ExperimentResult:
+        cache_dir: Optional[str] = None,
+        schedule: str = "batched", shards: int = 1,
+        ) -> ExperimentResult:
     """Run every scenario and tabulate per-network and geomean gains."""
     budgets = get_profile(profile)
     rng = ensure_rng(seed)
@@ -71,7 +73,8 @@ def run(profile: str = "", seed: int = 0,
                 networks, scenario_constraint(preset_name), cost_model,
                 budget=budgets.naas, seed=rng,
                 seed_configs=[baseline_preset(preset_name)],
-                workers=workers, cache_dir=cache_dir)
+                workers=workers, cache_dir=cache_dir,
+                schedule=schedule, shards=shards)
             per_net, geo_speed, geo_energy, geo_edp = gain_rows(
                 baseline, searched.network_costs)
             for name, speedup, energy_saving, edp_reduction in per_net:

@@ -52,7 +52,9 @@ def grid_for_profile(profile_name: str) -> List[Tuple[str, str]]:
 def run(profile: str = "", seed: int = 0,
         pairs: Sequence[Tuple[str, str]] = (),
         workers: int = 1,
-        cache_dir: Optional[str] = None) -> ExperimentResult:
+        cache_dir: Optional[str] = None,
+        schedule: str = "batched", shards: int = 1,
+        ) -> ExperimentResult:
     """Search per (scenario, network) pair; tabulate speedup / energy."""
     budgets = get_profile(profile)
     rng = ensure_rng(seed)
@@ -70,7 +72,8 @@ def run(profile: str = "", seed: int = 0,
                 [network], scenario_constraint(preset_name), cost_model,
                 budget=budgets.naas, seed=rng,
                 seed_configs=[baseline_preset(preset_name)],
-                workers=workers, cache_dir=cache_dir)
+                workers=workers, cache_dir=cache_dir,
+                schedule=schedule, shards=shards)
             per_net, geo_speed, geo_energy, geo_edp = gain_rows(
                 baseline, searched.network_costs)
             _, speedup, energy_saving, edp_reduction = per_net[0]

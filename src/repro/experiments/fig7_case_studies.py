@@ -33,7 +33,9 @@ CASES: Tuple[Tuple[str, str, str, str], ...] = (
 
 
 def run(profile: str = "", seed: int = 0, workers: int = 1,
-        cache_dir: Optional[str] = None) -> ExperimentResult:
+        cache_dir: Optional[str] = None,
+        schedule: str = "batched", shards: int = 1,
+        ) -> ExperimentResult:
     """Re-search the three showcase scenarios and describe the designs."""
     budgets = get_profile(profile)
     rng = ensure_rng(seed)
@@ -50,7 +52,8 @@ def run(profile: str = "", seed: int = 0, workers: int = 1,
             searched = search_accelerator(
                 [network], constraint, cost_model, budget=budgets.naas,
                 seed=rng, seed_configs=[baseline_preset(preset_name)],
-                workers=workers, cache_dir=cache_dir)
+                workers=workers, cache_dir=cache_dir,
+                schedule=schedule, shards=shards)
             config = searched.best_config
             ours = config.describe() if config else "search failed"
             rows.append((label, f"{network_name} @ {preset_name}",

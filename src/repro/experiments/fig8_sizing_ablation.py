@@ -45,7 +45,9 @@ PAPER_SIZING: Dict[Tuple[str, str], float] = {
 
 
 def run(profile: str = "", seed: int = 0, workers: int = 1,
-        cache_dir: Optional[str] = None) -> ExperimentResult:
+        cache_dir: Optional[str] = None,
+        schedule: str = "batched", shards: int = 1,
+        ) -> ExperimentResult:
     """Run both search regimes on each case; tabulate EDP reductions."""
     budgets = get_profile(profile)
     rng = ensure_rng(seed)
@@ -76,7 +78,8 @@ def run(profile: str = "", seed: int = 0, workers: int = 1,
             naas = search_accelerator(
                 [network], constraint, cost_model, budget=budgets.naas,
                 seed=rng, seed_configs=seeds, workers=workers,
-                cache_dir=cache_dir)
+                cache_dir=cache_dir,
+                schedule=schedule, shards=shards)
 
             sizing_reduction = base_edp / sizing.best_reward
             naas_reduction = base_edp / naas.best_reward

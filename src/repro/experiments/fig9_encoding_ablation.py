@@ -66,7 +66,9 @@ def _ablation_budget(naas: NAASBudget) -> NAASBudget:
 
 
 def run(profile: str = "", seed: int = 0, workers: int = 1,
-        cache_dir: Optional[str] = None) -> ExperimentResult:
+        cache_dir: Optional[str] = None,
+        schedule: str = "batched", shards: int = 1,
+        ) -> ExperimentResult:
     """Search the same scenario under all four encoding combinations.
 
     A *paired* comparison: within each of the ``PAIRED_RUNS`` rounds all
@@ -93,7 +95,8 @@ def run(profile: str = "", seed: int = 0, workers: int = 1,
                     seed=run_seed, hardware_style=hardware_style,
                     mapping_style=mapping_style,
                     seed_configs=[baseline_preset(SCENARIO_PRESET)],
-                    workers=workers, cache_dir=cache_dir)
+                    workers=workers, cache_dir=cache_dir,
+                    schedule=schedule, shards=shards)
                 samples[(hardware_style, mapping_style)].append(
                     base_edp / searched.best_reward)
 

@@ -33,11 +33,16 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 
 def run_experiment(name: str, profile: str = "",
                    seed: int = 0, workers: int = 1,
-                   cache_dir: Optional[str] = None) -> ExperimentResult:
+                   cache_dir: Optional[str] = None,
+                   schedule: str = "batched",
+                   shards: int = 1) -> ExperimentResult:
     """Run one experiment by id (``fig4`` ... ``table4``).
 
     ``workers`` fans candidate evaluations out per generation;
-    ``cache_dir`` persists mapping-search results across runs (see
+    ``schedule`` picks the batched or async (slot-refilling) evaluation
+    engine and ``shards`` splits each generation across logical shards —
+    results are bit-identical across all combinations. ``cache_dir``
+    persists mapping-search results across runs (see
     :mod:`repro.search.diskcache`), so re-running an experiment with the
     same seed and profile reuses its evaluations.
     """
@@ -47,4 +52,4 @@ def run_experiment(name: str, profile: str = "",
         known = ", ".join(sorted(EXPERIMENTS))
         raise ReproError(f"unknown experiment {name!r}; known: {known}") from None
     return runner(profile=profile, seed=seed, workers=workers,
-                  cache_dir=cache_dir)
+                  cache_dir=cache_dir, schedule=schedule, shards=shards)

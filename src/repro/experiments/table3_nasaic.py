@@ -41,7 +41,9 @@ PAPER_ROWS = (
 
 
 def run(profile: str = "", seed: int = 0, workers: int = 1,
-        cache_dir: Optional[str] = None) -> ExperimentResult:
+        cache_dir: Optional[str] = None,
+        schedule: str = "batched", shards: int = 1,
+        ) -> ExperimentResult:
     """Run both searches on the CIFAR net and compare latency/energy/EDP."""
     budgets = get_profile(profile)
     rng = ensure_rng(seed)
@@ -52,7 +54,8 @@ def run(profile: str = "", seed: int = 0, workers: int = 1,
         nasaic = search_nasaic(network, TABLE3_CONSTRAINT, cost_model)
         naas = search_accelerator(
             [network], TABLE3_CONSTRAINT, cost_model, budget=budgets.naas,
-            seed=rng, workers=workers, cache_dir=cache_dir)
+            seed=rng, workers=workers, cache_dir=cache_dir,
+            schedule=schedule, shards=shards)
 
     naas_cost = naas.network_costs[network.name]
     rows = [

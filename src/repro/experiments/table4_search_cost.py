@@ -31,7 +31,9 @@ NUM_SCENARIOS = 5
 
 
 def run(profile: str = "", seed: int = 0, workers: int = 1,
-        cache_dir: Optional[str] = None) -> ExperimentResult:
+        cache_dir: Optional[str] = None,
+        schedule: str = "batched", shards: int = 1,
+        ) -> ExperimentResult:
     """Tabulate published cost formulas plus this repro's measured cost."""
     budgets = get_profile(profile)
     rng = ensure_rng(seed)
@@ -43,7 +45,7 @@ def run(profile: str = "", seed: int = 0, workers: int = 1,
         search_accelerator(
             [build_model("mobilenet_v2")], scenario_constraint("eyeriss"),
             cost_model, budget=budgets.naas, seed=rng, workers=workers,
-            cache_dir=cache_dir)
+            cache_dir=cache_dir, schedule=schedule, shards=shards)
         measured_seconds = time.perf_counter() - start
 
         reports = search_cost_table(

@@ -25,12 +25,14 @@ from repro.search.cache import EvaluationCache
 from repro.search.diskcache import build_cache
 from repro.search.es import EvolutionEngine
 from repro.search.mapping_search import MappingSearchBudget
-from repro.search.parallel import ParallelEvaluator, ask_generation
+from repro.search.parallel import (
+    GenerationLoop,
+    ask_generation,
+    build_evaluator,
+    run_search_loop,
+)
 from repro.search.result import IterationStats
-from repro.utils.logging import get_logger
 from repro.utils.rng import SeedLike, ensure_rng
-
-logger = get_logger(__name__)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -87,6 +89,72 @@ def _evaluate_joint_candidate(task: _JointTask,
         seed=task.entropy, predictor=task.predictor, cache=cache, workers=1)
 
 
+class _JointLoop(GenerationLoop):
+    """Joint-search generation loop for ``run_search_loop``.
+
+    Parallelism lives at the hardware-candidate level: each outcome is a
+    whole inner NAS run's :class:`NASResult`, folded back in submission
+    order at the commit boundary.
+    """
+
+    def __init__(self, engine: EvolutionEngine, encoder: HardwareEncoder,
+                 rng, injected: List, budget: JointBudget,
+                 cost_model: CostModel, accuracy_floor: float,
+                 predictor: AccuracyPredictor) -> None:
+        self.engine = engine
+        self.encoder = encoder
+        self.rng = rng
+        self.injected = injected
+        self.budget = budget
+        self.cost_model = cost_model
+        self.accuracy_floor = accuracy_floor
+        self.predictor = predictor
+        self.iterations = budget.accel_iterations
+        self.population = budget.accel_population
+
+        self.best: Optional[Tuple[AcceleratorConfig, NASResult]] = None
+        self.best_edp = math.inf
+        self.hw_evals = 0
+        self.net_evals = 0
+        self._vectors: List = []
+        self._configs: List[Optional[AcceleratorConfig]] = []
+
+    def ask(self, iteration: int) -> List[Optional[_JointTask]]:
+        self._vectors, self._configs, entropies = ask_generation(
+            self.engine, self.encoder, self.population, iteration,
+            self.injected, self.rng, name_prefix="joint")
+        members: List[Optional[_JointTask]] = []
+        for member, config in enumerate(self._configs):
+            if config is None:
+                members.append(None)
+                continue
+            members.append(_JointTask(
+                config=config, cost_model=self.cost_model,
+                accuracy_floor=self.accuracy_floor,
+                nas_budget=self.budget.nas,
+                mapping_budget=self.budget.mapping,
+                entropy=entropies[member],
+                predictor=self.predictor))
+        return members
+
+    def tell(self, iteration: int,
+             outcomes: List[Optional[NASResult]]) -> List[float]:
+        fitnesses = [math.inf] * self.population
+        for member, nas_result in enumerate(outcomes):
+            if nas_result is None:
+                continue
+            self.hw_evals += 1
+            self.net_evals += nas_result.evaluations
+            fitnesses[member] = nas_result.best_edp
+            if (math.isfinite(nas_result.best_edp)
+                    and nas_result.best_edp < self.best_edp):
+                self.best_edp = nas_result.best_edp
+                self.best = (self._configs[member], nas_result)
+        self.engine.tell_partial(self._vectors, fitnesses)
+        self.engine.commit()
+        return fitnesses
+
+
 def search_joint(constraint: ResourceConstraint,
                  cost_model: CostModel,
                  accuracy_floor: float,
@@ -96,13 +164,18 @@ def search_joint(constraint: ResourceConstraint,
                  seed_configs: Tuple[AcceleratorConfig, ...] = (),
                  workers: int = 1,
                  cache_dir: Optional[str] = None,
+                 schedule: str = "batched",
+                 shards: int = 1,
                  ) -> JointSearchResult:
     """Run the joint NAAS+NAS search under a resource constraint.
 
     ``workers`` parallelizes across hardware candidates: each candidate's
     whole inner NAS run is one work item, the coarsest (and therefore
-    best-amortized) unit of the three-level search. ``cache_dir`` backs
-    every inner NAS run with the shared persistent disk tier of
+    best-amortized) unit of the three-level search — and the one whose
+    per-candidate cost is most skewed, which is where ``schedule="async"``
+    helps most. ``shards`` splits each generation across logical shards
+    with independent cache snapshots. ``cache_dir`` backs every inner
+    NAS run with the shared persistent disk tier of
     :mod:`repro.search.diskcache` (workers read through to disk and
     append what they compute).
     """
@@ -112,48 +185,21 @@ def search_joint(constraint: ResourceConstraint,
     engine = EvolutionEngine(encoder.num_params, seed=rng)
     cache = build_cache(cache_dir)
 
-    best: Optional[Tuple[AcceleratorConfig, NASResult]] = None
-    best_edp = math.inf
-    history: List[IterationStats] = []
-    hw_evals = 0
-    net_evals = 0
-    injected = [encoder.encode(config) for config in seed_configs]
-    population = budget.accel_population
+    loop = _JointLoop(
+        engine=engine, encoder=encoder, rng=rng,
+        injected=[encoder.encode(config) for config in seed_configs],
+        budget=budget, cost_model=cost_model,
+        accuracy_floor=accuracy_floor, predictor=predictor)
 
-    with ParallelEvaluator(_evaluate_joint_candidate, workers=workers,
-                           cache=cache) as evaluator:
-        for iteration in range(budget.accel_iterations):
-            vectors, configs, entropies = ask_generation(
-                engine, encoder, population, iteration, injected, rng,
-                name_prefix="joint")
-            tasks = []
-            task_members = []
-            for member, config in enumerate(configs):
-                if config is None:
-                    continue
-                tasks.append(_JointTask(
-                    config=config, cost_model=cost_model,
-                    accuracy_floor=accuracy_floor, nas_budget=budget.nas,
-                    mapping_budget=budget.mapping,
-                    entropy=entropies[member],
-                    predictor=predictor))
-                task_members.append(member)
-            nas_results = evaluator.evaluate(tasks)
+    with build_evaluator(_evaluate_joint_candidate, workers=workers,
+                         cache=cache, schedule=schedule,
+                         shards=shards) as evaluator:
+        history = run_search_loop(loop, evaluator)
 
-            fitnesses = [math.inf] * population
-            for member, nas_result in zip(task_members, nas_results):
-                hw_evals += 1
-                net_evals += nas_result.evaluations
-                fitnesses[member] = nas_result.best_edp
-                if (math.isfinite(nas_result.best_edp)
-                        and nas_result.best_edp < best_edp):
-                    best_edp = nas_result.best_edp
-                    best = (configs[member], nas_result)
-            engine.tell(vectors, fitnesses)
-            history.append(IterationStats.from_fitnesses(
-                iteration, fitnesses, population))
-            logger.info("joint iter %d best EDP %.3e", iteration, best_edp)
-
+    best = loop.best
+    best_edp = loop.best_edp
+    hw_evals = loop.hw_evals
+    net_evals = loop.net_evals
     if best is None:
         return JointSearchResult(
             best_config=None, best_arch=None, best_cost=None,

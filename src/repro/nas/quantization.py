@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.accelerator.arch import AcceleratorConfig
 from repro.cost.model import CostModel
@@ -30,8 +30,14 @@ from repro.nas.subnet import build_subnet
 from repro.search.accelerator_search import evaluate_accelerator
 from repro.search.cache import EvaluationCache
 from repro.search.diskcache import build_cache
+from repro.search.es import PartialTellMixin
 from repro.search.mapping_search import MappingSearchBudget
-from repro.search.parallel import ParallelEvaluator
+from repro.search.parallel import (
+    GenerationLoop,
+    build_evaluator,
+    run_search_loop,
+)
+from repro.search.result import IterationStats
 from repro.tensors.network import Network
 from repro.utils.rng import SeedLike, ensure_rng, seed_entropy
 
@@ -115,6 +121,7 @@ class QuantSearchResult:
     best_accuracy: float
     best_edp: float
     evaluations: int
+    history: Tuple[IterationStats, ...] = ()
 
     @property
     def found(self) -> bool:
@@ -156,6 +163,157 @@ def _evaluate_quant_pair(task: _QuantTask,
 #: refill loop would spin forever (the pre-fix behavior).
 _REFILL_ATTEMPTS_PER_SLOT = 16
 
+#: A candidate of the pair search: (subnet architecture, bitwidth policy).
+QuantPair = Tuple[ResNetArch, QuantPolicy]
+
+
+class QuantPairEngine(PartialTellMixin):
+    """Incremental ask/tell engine over (subnet, bitwidth-policy) pairs.
+
+    The quantization analogue of :class:`repro.search.es.EvolutionEngine`:
+    ``ask`` hands out the current population, partial fitnesses buffer
+    through :meth:`~repro.search.es.PartialTellMixin.tell_partial` in
+    whatever order worker slots complete, and
+    :meth:`~repro.search.es.PartialTellMixin.commit` applies them as one
+    generation. :meth:`evolve` then breeds the next population (parent
+    selection + bounded admissible refill) — it is a separate step so a
+    driver can skip the final generation's breeding, keeping the parent
+    RNG stream identical to the historical loop.
+    """
+
+    def __init__(self, space: OFAResNetSpace,
+                 predictor: QuantizedAccuracyPredictor,
+                 accuracy_floor: float, population: int, rng) -> None:
+        self.space = space
+        self.predictor = predictor
+        self.accuracy_floor = accuracy_floor
+        self.population = population
+        self.rng = rng
+        self.generation = 0
+        self._pending_tells: List[Tuple[int, QuantPair, float]] = []
+        self._fitnesses: List[float] = []
+        self._pairs: List[QuantPair] = []
+        while len(self._pairs) < population:
+            pair = self.sample_pair()
+            if pair is None:
+                break
+            self._pairs.append(pair)
+
+    # ----- candidate generation ----------------------------------------
+
+    def random_policy(self) -> QuantPolicy:
+        return QuantPolicy(stage_bits=tuple(
+            int(self.rng.choice(BIT_CHOICES)) for _ in range(_NUM_STAGES)))
+
+    def sample_pair(self) -> Optional[QuantPair]:
+        for _ in range(64):
+            arch = self.space.sample(seed=self.rng)
+            policy = self.random_policy()
+            if self.predictor(arch, policy) >= self.accuracy_floor:
+                return arch, policy
+        # fall back to the most accurate corner: largest net, fp16
+        arch = self.space.largest()
+        policy = QuantPolicy.uniform(16)
+        if self.predictor(arch, policy) >= self.accuracy_floor:
+            return arch, policy
+        return None
+
+    def mutate_pair(self, pair: QuantPair) -> QuantPair:
+        arch, policy = pair
+        arch = self.space.mutate(arch, rate=0.15, seed=self.rng)
+        bits = tuple(int(self.rng.choice(BIT_CHOICES))
+                     if self.rng.random() < 0.25
+                     else b for b in policy.stage_bits)
+        return arch, QuantPolicy(stage_bits=bits)
+
+    # ----- ask/tell -----------------------------------------------------
+
+    def ask(self, count: Optional[int] = None) -> List[QuantPair]:
+        """The pairs to evaluate this generation (at most ``count``).
+
+        The population can legitimately be smaller than the target after
+        a refill-starved :meth:`evolve`; callers get what exists.
+        """
+        if count is None:
+            return list(self._pairs)
+        if count < 0:
+            raise ReproError(f"ask count must be >= 0, got {count}")
+        return list(self._pairs[:count])
+
+    def update(self, candidates: List[QuantPair],
+               fitnesses: List[float]) -> None:
+        """Record one committed generation's fitnesses (no breeding)."""
+        if len(candidates) != len(fitnesses):
+            raise ReproError("candidates and fitnesses length mismatch")
+        self.generation += 1
+        self._fitnesses = list(fitnesses)
+
+    def evolve(self) -> None:
+        """Breed the next population from the last committed generation.
+
+        Bounded refill: when the floor rejects every child and
+        ``sample_pair`` cannot help either, proceed with the partial
+        population (at worst the parents) instead of hanging.
+        """
+        ranked = sorted(zip(self._fitnesses, range(len(self._pairs))),
+                        key=lambda p: p[0])
+        parents = [self._pairs[i]
+                   for _, i in ranked[:max(2, self.population // 4)]]
+        next_pairs = list(parents)
+        attempts = _REFILL_ATTEMPTS_PER_SLOT * self.population
+        while len(next_pairs) < self.population and attempts > 0:
+            attempts -= 1
+            child = self.mutate_pair(
+                parents[int(self.rng.integers(len(parents)))])
+            if self.predictor(child[0], child[1]) >= self.accuracy_floor:
+                next_pairs.append(child)
+            else:
+                fallback = self.sample_pair()
+                if fallback is not None:
+                    next_pairs.append(fallback)
+        self._pairs = next_pairs
+
+
+class _QuantLoop(GenerationLoop):
+    """Quantization-search generation loop for ``run_search_loop``."""
+
+    def __init__(self, engine: QuantPairEngine, iterations: int,
+                 accel: AcceleratorConfig, cost_model: CostModel,
+                 mapping_budget: MappingSearchBudget, entropy: int) -> None:
+        self.engine = engine
+        self.iterations = iterations
+        self.accel = accel
+        self.cost_model = cost_model
+        self.mapping_budget = mapping_budget
+        self.entropy = entropy
+
+        self.best_pair: Optional[QuantPair] = None
+        self.best_edp = math.inf
+        self.evaluations = 0
+        self._current: List[QuantPair] = []
+
+    def ask(self, iteration: int) -> List[Optional[_QuantTask]]:
+        self._current = self.engine.ask()
+        return [_QuantTask(arch=arch, policy=policy, accel=self.accel,
+                           cost_model=self.cost_model,
+                           mapping_budget=self.mapping_budget,
+                           entropy=self.entropy)
+                for arch, policy in self._current]
+
+    def tell(self, iteration: int,
+             outcomes: List[Optional[float]]) -> List[float]:
+        fitnesses = list(outcomes)
+        self.evaluations += len(fitnesses)
+        for pair, edp in zip(self._current, fitnesses):
+            if edp < self.best_edp:
+                self.best_edp = edp
+                self.best_pair = pair
+        self.engine.tell_partial(self._current, fitnesses)
+        self.engine.commit()
+        if iteration < self.iterations - 1:
+            self.engine.evolve()
+        return fitnesses
+
 
 def search_quantized(accel: AcceleratorConfig,
                      cost_model: CostModel,
@@ -167,6 +325,8 @@ def search_quantized(accel: AcceleratorConfig,
                      predictor: Optional[QuantizedAccuracyPredictor] = None,
                      workers: int = 1,
                      cache_dir: Optional[str] = None,
+                     schedule: str = "batched",
+                     shards: int = 1,
                      ) -> QuantSearchResult:
     """Evolve (subnet, bitwidth policy) pairs minimizing EDP on ``accel``.
 
@@ -175,11 +335,12 @@ def search_quantized(accel: AcceleratorConfig,
     mutation/crossover, mapping-searched EDP reward) is unchanged.
 
     ``workers`` fans each generation's pair evaluations out over that
-    many processes; any worker count returns a bit-identical result
-    because evaluation seeds derive from one run-level entropy via the
-    cache key (the former per-evaluation draws from the parent stream
-    made rewards depend on evaluation order). ``cache_dir`` backs the
-    run with the persistent disk tier of :mod:`repro.search.diskcache`.
+    many processes; any worker count — and either ``schedule``, at any
+    ``shards`` — returns a bit-identical result because evaluation seeds
+    derive from one run-level entropy via the cache key (the former
+    per-evaluation draws from the parent stream made rewards depend on
+    evaluation order). ``cache_dir`` backs the run with the persistent
+    disk tier of :mod:`repro.search.diskcache`.
     """
     rng = ensure_rng(seed)
     space = OFAResNetSpace()
@@ -189,83 +350,25 @@ def search_quantized(accel: AcceleratorConfig,
     # _evaluate_quant_pair for why this keeps rewards order-independent.
     eval_entropy = seed_entropy(rng)
 
-    def random_policy() -> QuantPolicy:
-        return QuantPolicy(stage_bits=tuple(
-            int(rng.choice(BIT_CHOICES)) for _ in range(_NUM_STAGES)))
-
-    def sample_pair() -> Optional[Tuple[ResNetArch, QuantPolicy]]:
-        for _ in range(64):
-            arch = space.sample(seed=rng)
-            policy = random_policy()
-            if predictor(arch, policy) >= accuracy_floor:
-                return arch, policy
-        # fall back to the most accurate corner: largest net, fp16
-        arch = space.largest()
-        policy = QuantPolicy.uniform(16)
-        if predictor(arch, policy) >= accuracy_floor:
-            return arch, policy
-        return None
-
-    def mutate_pair(pair: Tuple[ResNetArch, QuantPolicy],
-                    ) -> Tuple[ResNetArch, QuantPolicy]:
-        arch, policy = pair
-        arch = space.mutate(arch, rate=0.15, seed=rng)
-        bits = tuple(int(rng.choice(BIT_CHOICES)) if rng.random() < 0.25
-                     else b for b in policy.stage_bits)
-        return arch, QuantPolicy(stage_bits=bits)
-
-    population_pairs = []
-    while len(population_pairs) < population:
-        pair = sample_pair()
-        if pair is None:
-            break
-        population_pairs.append(pair)
-    if not population_pairs:
+    engine = QuantPairEngine(space=space, predictor=predictor,
+                             accuracy_floor=accuracy_floor,
+                             population=population, rng=rng)
+    if not engine.ask():
         return QuantSearchResult(None, None, 0.0, math.inf, 0)
 
-    best_pair: Optional[Tuple[ResNetArch, QuantPolicy]] = None
-    best_edp = math.inf
-    evaluations = 0
-    with ParallelEvaluator(_evaluate_quant_pair, workers=workers,
-                           cache=cache) as evaluator:
-        for iteration in range(iterations):
-            tasks = [_QuantTask(arch=arch, policy=policy, accel=accel,
-                                cost_model=cost_model,
-                                mapping_budget=mapping_budget,
-                                entropy=eval_entropy)
-                     for arch, policy in population_pairs]
-            fitnesses = evaluator.evaluate(tasks)
-            evaluations += len(tasks)
-            for pair, edp in zip(population_pairs, fitnesses):
-                if edp < best_edp:
-                    best_edp = edp
-                    best_pair = pair
-            if iteration == iterations - 1:
-                break
-            ranked = sorted(zip(fitnesses, range(len(population_pairs))),
-                            key=lambda p: p[0])
-            parents = [population_pairs[i]
-                       for _, i in ranked[:max(2, population // 4)]]
-            next_pairs = list(parents)
-            # Bounded refill: when the floor rejects every child and
-            # sample_pair cannot help either, proceed with the partial
-            # population (at worst the parents) instead of hanging.
-            attempts = _REFILL_ATTEMPTS_PER_SLOT * population
-            while len(next_pairs) < population and attempts > 0:
-                attempts -= 1
-                child = mutate_pair(parents[int(rng.integers(len(parents)))])
-                if predictor(child[0], child[1]) >= accuracy_floor:
-                    next_pairs.append(child)
-                else:
-                    fallback = sample_pair()
-                    if fallback is not None:
-                        next_pairs.append(fallback)
-            population_pairs = next_pairs
+    loop = _QuantLoop(engine=engine, iterations=iterations, accel=accel,
+                      cost_model=cost_model, mapping_budget=mapping_budget,
+                      entropy=eval_entropy)
+    with build_evaluator(_evaluate_quant_pair, workers=workers, cache=cache,
+                         schedule=schedule, shards=shards) as evaluator:
+        history = run_search_loop(loop, evaluator)
 
-    if best_pair is None:
-        return QuantSearchResult(None, None, 0.0, math.inf, evaluations)
-    arch, policy = best_pair
+    if loop.best_pair is None:
+        return QuantSearchResult(None, None, 0.0, math.inf, loop.evaluations,
+                                 history=tuple(history))
+    arch, policy = loop.best_pair
     return QuantSearchResult(
         best_arch=arch, best_policy=policy,
         best_accuracy=predictor(arch, policy),
-        best_edp=best_edp, evaluations=evaluations)
+        best_edp=loop.best_edp, evaluations=loop.evaluations,
+        history=tuple(history))

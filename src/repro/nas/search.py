@@ -22,12 +22,13 @@ from repro.search.accelerator_search import evaluate_accelerator
 from repro.search.cache import EvaluationCache
 from repro.search.diskcache import build_cache
 from repro.search.mapping_search import MappingSearchBudget
-from repro.search.parallel import ParallelEvaluator
+from repro.search.parallel import (
+    GenerationLoop,
+    build_evaluator,
+    run_search_loop,
+)
 from repro.search.result import IterationStats
-from repro.utils.logging import get_logger
 from repro.utils.rng import SeedLike, ensure_rng, seed_entropy
-
-logger = get_logger(__name__)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -83,6 +84,91 @@ def _evaluate_arch(task: _ArchTask, cache: Optional[EvaluationCache],
     return reward, costs.get(network.name)
 
 
+class _ArchLoop(GenerationLoop):
+    """Subnet-GA generation loop for ``run_search_loop``.
+
+    The genome is the architecture itself, so the "engine" is the
+    population held here: ``ask`` emits one :class:`_ArchTask` per
+    member, ``tell`` folds EDPs back in submission order and (except
+    after the final generation, which keeps the parent stream's draw
+    count identical to the pre-refactor loop) breeds the next population
+    by mutation + crossover from the fittest parents.
+    """
+
+    def __init__(self, space: OFAResNetSpace, rng, budget: NASBudget,
+                 accel: AcceleratorConfig, cost_model: CostModel,
+                 mapping_budget: MappingSearchBudget, entropy: int,
+                 predictor, accuracy_floor: float,
+                 population: List[ResNetArch],
+                 sample_admissible) -> None:
+        self.space = space
+        self.rng = rng
+        self.budget = budget
+        self.accel = accel
+        self.cost_model = cost_model
+        self.mapping_budget = mapping_budget
+        self.entropy = entropy
+        self.predictor = predictor
+        self.accuracy_floor = accuracy_floor
+        self.population = population
+        self.sample_admissible = sample_admissible
+        self.iterations = budget.iterations
+
+        self.best_arch: Optional[ResNetArch] = None
+        self.best_cost: Optional[NetworkCost] = None
+        self.best_edp = math.inf
+        self.evaluations = 0
+        self._current: List[ResNetArch] = []
+
+    def ask(self, iteration: int) -> List[Optional[_ArchTask]]:
+        self._current = list(self.population)
+        return [_ArchTask(arch=arch, accel=self.accel,
+                          cost_model=self.cost_model,
+                          mapping_budget=self.mapping_budget,
+                          entropy=self.entropy)
+                for arch in self._current]
+
+    def tell(self, iteration: int, outcomes: List[Optional[Tuple]],
+             ) -> List[float]:
+        fitnesses: List[float] = []
+        for arch, (edp, cost) in zip(self._current, outcomes):
+            self.evaluations += 1
+            fitnesses.append(edp)
+            if edp < self.best_edp:
+                self.best_edp = edp
+                self.best_arch = arch
+                self.best_cost = cost
+        if iteration < self.iterations - 1:
+            self._breed(fitnesses)
+        return fitnesses
+
+    def _breed(self, fitnesses: List[float]) -> None:
+        budget = self.budget
+        rng = self.rng
+        ranked = sorted(zip(fitnesses, range(len(self._current))),
+                        key=lambda pair: pair[0])
+        parent_count = max(
+            2, int(round(len(self._current) * budget.parent_fraction)))
+        parents = [self._current[i] for _, i in ranked[:parent_count]]
+        next_population: List[ResNetArch] = list(parents)
+        while len(next_population) < budget.population:
+            if rng.random() < budget.mutation_fraction:
+                parent = parents[int(rng.integers(len(parents)))]
+                child = self.space.mutate(
+                    parent, budget.mutation_rate, seed=rng)
+            else:
+                a, b = rng.integers(len(parents)), rng.integers(len(parents))
+                child = self.space.crossover(
+                    parents[int(a)], parents[int(b)], seed=rng)
+            if self.predictor(child) >= self.accuracy_floor:
+                next_population.append(child)
+            else:
+                fallback = self.sample_admissible(max_attempts=16)
+                if fallback is not None:
+                    next_population.append(fallback)
+        self.population = next_population
+
+
 def search_architecture(accel: AcceleratorConfig,
                         cost_model: CostModel,
                         accuracy_floor: float,
@@ -93,12 +179,15 @@ def search_architecture(accel: AcceleratorConfig,
                         cache: Optional[EvaluationCache] = None,
                         workers: int = 1,
                         cache_dir: Optional[str] = None,
+                        schedule: str = "batched",
+                        shards: int = 1,
                         ) -> NASResult:
     """Find the lowest-EDP subnet meeting ``accuracy_floor`` on ``accel``.
 
     ``workers`` fans each generation's subnet evaluations out over that
-    many processes; the result is identical for any worker count because
-    all mapping searches are seeded from one run-level entropy via their
+    many processes; the result is identical for any worker count — and
+    for either ``schedule`` and any ``shards`` value — because all
+    mapping searches are seeded from one run-level entropy via their
     cache key (see :mod:`repro.search.parallel`). ``cache_dir`` (used
     only when no explicit ``cache`` is supplied) backs the run with the
     persistent disk tier of :mod:`repro.search.diskcache`.
@@ -137,60 +226,16 @@ def search_architecture(accel: AcceleratorConfig,
         return NASResult(best_arch=None, best_cost=None, best_accuracy=0.0,
                          best_edp=math.inf, history=(), evaluations=0)
 
-    best_arch: Optional[ResNetArch] = None
-    best_cost: Optional[NetworkCost] = None
-    best_edp = math.inf
-    history: List[IterationStats] = []
-    evaluations = 0
+    loop = _ArchLoop(space=space, rng=rng, budget=budget, accel=accel,
+                     cost_model=cost_model, mapping_budget=mapping_budget,
+                     entropy=eval_entropy, predictor=predictor,
+                     accuracy_floor=accuracy_floor, population=population,
+                     sample_admissible=sample_admissible)
+    with build_evaluator(_evaluate_arch, workers=workers, cache=cache,
+                         schedule=schedule, shards=shards) as evaluator:
+        history = run_search_loop(loop, evaluator)
 
-    evaluator = ParallelEvaluator(_evaluate_arch, workers=workers,
-                                  cache=cache)
-    try:
-        for iteration in range(budget.iterations):
-            tasks = [_ArchTask(arch=arch, accel=accel, cost_model=cost_model,
-                               mapping_budget=mapping_budget,
-                               entropy=eval_entropy)
-                     for arch in population]
-            outcomes = evaluator.evaluate(tasks)
-            fitnesses = []
-            for arch, (edp, cost) in zip(population, outcomes):
-                evaluations += 1
-                fitnesses.append(edp)
-                if edp < best_edp:
-                    best_edp = edp
-                    best_arch = arch
-                    best_cost = cost
-            history.append(IterationStats.from_fitnesses(
-                iteration, fitnesses, len(population)))
-            if iteration == budget.iterations - 1:
-                break
-
-            ranked = sorted(zip(fitnesses, range(len(population))),
-                            key=lambda pair: pair[0])
-            parent_count = max(
-                2, int(round(len(population) * budget.parent_fraction)))
-            parents = [population[i] for _, i in ranked[:parent_count]]
-            next_population: List[ResNetArch] = list(parents)
-            while len(next_population) < budget.population:
-                if rng.random() < budget.mutation_fraction:
-                    parent = parents[int(rng.integers(len(parents)))]
-                    child = space.mutate(parent, budget.mutation_rate, seed=rng)
-                else:
-                    a, b = rng.integers(len(parents)), rng.integers(len(parents))
-                    child = space.crossover(
-                        parents[int(a)], parents[int(b)], seed=rng)
-                if predictor(child) >= accuracy_floor:
-                    next_population.append(child)
-                else:
-                    fallback = sample_admissible(max_attempts=16)
-                    if fallback is not None:
-                        next_population.append(fallback)
-            population = next_population
-            logger.debug("NAS iter %d best EDP %.3e", iteration, best_edp)
-    finally:
-        evaluator.close()
-
-    best_accuracy = predictor(best_arch) if best_arch else 0.0
-    return NASResult(best_arch=best_arch, best_cost=best_cost,
-                     best_accuracy=best_accuracy, best_edp=best_edp,
-                     history=tuple(history), evaluations=evaluations)
+    best_accuracy = predictor(loop.best_arch) if loop.best_arch else 0.0
+    return NASResult(best_arch=loop.best_arch, best_cost=loop.best_cost,
+                     best_accuracy=best_accuracy, best_edp=loop.best_edp,
+                     history=tuple(history), evaluations=loop.evaluations)

@@ -8,15 +8,28 @@
   loop orders and tilings.
 - :mod:`repro.search.accelerator_search` — the outer loop (§II-A): the
   full NAAS hardware search with nested mapping search.
-- :mod:`repro.search.parallel` — the batched ask/tell evaluation engine
-  that fans candidate evaluations out over worker processes.
+- :mod:`repro.search.parallel` — the evaluation engines (batched and
+  asynchronous slot-refilling schedules, population sharding) and the
+  shared :func:`~repro.search.parallel.run_search_loop` generation
+  driver every outer search runs on.
 """
 
 from repro.search.accelerator_search import NAASBudget, search_accelerator
 from repro.search.cache import EvaluationCache
 from repro.search.es import EvolutionEngine
 from repro.search.mapping_search import MappingSearchBudget, search_mapping
-from repro.search.parallel import ParallelEvaluator, resolve_workers
+from repro.search.parallel import (
+    SCHEDULES,
+    AsyncEvaluator,
+    CommitBuffer,
+    GenerationLoop,
+    ParallelEvaluator,
+    ShardPlan,
+    build_evaluator,
+    resolve_schedule,
+    resolve_workers,
+    run_search_loop,
+)
 from repro.search.random_search import RandomEngine
 from repro.search.result import (
     AcceleratorSearchResult,
@@ -26,15 +39,23 @@ from repro.search.result import (
 
 __all__ = [
     "AcceleratorSearchResult",
+    "AsyncEvaluator",
+    "CommitBuffer",
     "EvaluationCache",
     "EvolutionEngine",
+    "GenerationLoop",
     "IterationStats",
     "MappingSearchBudget",
     "MappingSearchResult",
     "NAASBudget",
     "ParallelEvaluator",
     "RandomEngine",
+    "SCHEDULES",
+    "ShardPlan",
+    "build_evaluator",
+    "resolve_schedule",
     "resolve_workers",
+    "run_search_loop",
     "search_accelerator",
     "search_mapping",
 ]

@@ -6,18 +6,20 @@ resulting per-network EDPs (geomean). Candidates violating the resource
 constraint are rejected at decode time and re-sampled, exactly as the
 paper describes.
 
-The generation loop follows the batched ask/tell protocol: the whole
-population is sampled and decoded up front, per-candidate seeds are
-derived in one batch, and the candidate evaluations are fanned out
-through :class:`repro.search.parallel.ParallelEvaluator` (``workers=1``
-reproduces the serial path bit-identically).
+The generation loop follows the ask/tell protocol: the whole population
+is sampled and decoded up front, per-candidate seeds are derived in one
+batch, and the candidate evaluations are fanned out through the shared
+:func:`repro.search.parallel.run_search_loop` driver on whichever
+evaluation schedule the caller picked (``workers=1`` reproduces the
+serial path bit-identically; see :mod:`repro.search.parallel` for the
+``schedule``/``shards`` execution model).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Optional, Sequence, Tuple, Type
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.accelerator.arch import AcceleratorConfig
 from repro.accelerator.constraints import ResourceConstraint
@@ -31,11 +33,15 @@ from repro.search.diskcache import build_cache, content_digest
 from repro.search.es import EvolutionEngine
 from repro.search.mapping_search import MappingSearchBudget, search_mapping
 from repro.search.objectives import RewardFn, geomean_edp
-from repro.search.parallel import ParallelEvaluator, ask_generation
+from repro.search.parallel import (
+    GenerationLoop,
+    ask_generation,
+    build_evaluator,
+    run_search_loop,
+)
 from repro.search.result import (
     AcceleratorSearchResult,
     CacheStats,
-    IterationStats,
     MappingSearchResult,
 )
 from repro.tensors.network import Network, shape_key
@@ -164,6 +170,81 @@ def _evaluate_candidate(task: _CandidateTask,
         reward_fn=task.reward_fn)
 
 
+class _AcceleratorLoop(GenerationLoop):
+    """Hardware-search generation loop for ``run_search_loop``.
+
+    ``ask`` samples/decodes one generation (warm-start vectors override
+    the head of generation 0) and returns one :class:`_CandidateTask`
+    per decodable member; ``tell`` folds rewards back in submission
+    order — ties keep the earliest candidate, matching the serial loop —
+    and commits the generation to the engine at the commit boundary.
+    """
+
+    def __init__(self, engine: Any, encoder: HardwareEncoder,
+                 rng, injected: List, budget: NAASBudget,
+                 networks: Tuple[Network, ...], cost_model: CostModel,
+                 mapping_style: EncodingStyle, reward_fn: RewardFn,
+                 max_decode_attempts: int) -> None:
+        self.engine = engine
+        self.encoder = encoder
+        self.rng = rng
+        self.injected = injected
+        self.budget = budget
+        self.networks = networks
+        self.cost_model = cost_model
+        self.mapping_style = mapping_style
+        self.reward_fn = reward_fn
+        self.max_decode_attempts = max_decode_attempts
+        self.iterations = budget.accel_iterations
+        self.population = budget.accel_population
+
+        self.best_config: Optional[AcceleratorConfig] = None
+        self.best_reward = math.inf
+        self.best_costs: Dict[str, NetworkCost] = {}
+        self.best_maps: Dict[str, Mapping] = {}
+        self.evaluations = 0
+        self._vectors: List = []
+        self._configs: List[Optional[AcceleratorConfig]] = []
+
+    def ask(self, iteration: int) -> List[Optional[_CandidateTask]]:
+        self._vectors, self._configs, entropies = ask_generation(
+            self.engine, self.encoder, self.population, iteration,
+            self.injected, self.rng,
+            max_decode_attempts=self.max_decode_attempts,
+            name_prefix="naas")
+        members: List[Optional[_CandidateTask]] = []
+        for member, config in enumerate(self._configs):
+            if config is None:
+                members.append(None)
+                continue
+            members.append(_CandidateTask(
+                accel=config, networks=self.networks,
+                cost_model=self.cost_model,
+                mapping_budget=self.budget.mapping,
+                entropy=entropies[member],
+                mapping_style=self.mapping_style,
+                reward_fn=self.reward_fn))
+            self.evaluations += 1
+        return members
+
+    def tell(self, iteration: int, outcomes: List[Optional[Any]],
+             ) -> List[float]:
+        fitnesses = [math.inf] * self.population
+        for member, outcome in enumerate(outcomes):
+            if outcome is None:
+                continue
+            reward, costs, maps = outcome
+            fitnesses[member] = reward
+            if math.isfinite(reward) and reward < self.best_reward:
+                self.best_reward = reward
+                self.best_config = self._configs[member]
+                self.best_costs = costs
+                self.best_maps = maps
+        self.engine.tell_partial(self._vectors, fitnesses)
+        self.engine.commit()
+        return fitnesses
+
+
 def search_accelerator(networks: Sequence[Network],
                        constraint: ResourceConstraint,
                        cost_model: CostModel,
@@ -177,81 +258,47 @@ def search_accelerator(networks: Sequence[Network],
                        reward_fn: RewardFn = geomean_edp,
                        workers: int = 1,
                        cache_dir: Optional[str] = None,
+                       schedule: str = "batched",
+                       shards: int = 1,
                        ) -> AcceleratorSearchResult:
     """Run the full NAAS hardware search under a resource constraint.
 
     ``seed_configs`` are encoded and injected into the first generation,
     letting the search warm-start from (e.g.) the baseline preset.
     ``workers`` fans each generation's candidate evaluations out over
-    that many processes (0 = all cores); any worker count returns the
-    same result for the same seed. ``cache_dir`` adds a persistent disk
-    tier under the evaluation cache (shared across runs and concurrent
-    processes; see :mod:`repro.search.diskcache`): a repeated run with
-    the same seed and budget reuses every mapping-search result and
-    returns a bit-identical ``AcceleratorSearchResult``.
+    that many processes (0 = all cores); ``schedule`` picks the batched
+    (chunk-per-worker) or async (slot-refilling) execution engine and
+    ``shards`` splits each generation across that many logical shards —
+    every combination returns the same result for the same seed.
+    ``cache_dir`` adds a persistent disk tier under the evaluation cache
+    (shared across runs and concurrent processes; see
+    :mod:`repro.search.diskcache`): a repeated run with the same seed
+    and budget reuses every mapping-search result and returns a
+    bit-identical ``AcceleratorSearchResult``.
     """
     rng = ensure_rng(seed)
     encoder = HardwareEncoder(constraint, style=hardware_style)
     engine = engine_cls(encoder.num_params, seed=rng)
     cache = build_cache(cache_dir)
-    networks = tuple(networks)
 
-    best_config: Optional[AcceleratorConfig] = None
-    best_reward = math.inf
-    best_costs: Dict[str, NetworkCost] = {}
-    best_maps: Dict[str, Mapping] = {}
-    history: List[IterationStats] = []
-    evaluations = 0
+    loop = _AcceleratorLoop(
+        engine=engine, encoder=encoder, rng=rng,
+        injected=[encoder.encode(config) for config in seed_configs],
+        budget=budget, networks=tuple(networks), cost_model=cost_model,
+        mapping_style=mapping_style, reward_fn=reward_fn,
+        max_decode_attempts=max_decode_attempts)
 
-    injected = [encoder.encode(config) for config in seed_configs]
-    population = budget.accel_population
-
-    with ParallelEvaluator(_evaluate_candidate, workers=workers,
-                           cache=cache) as evaluator:
-        for iteration in range(budget.accel_iterations):
-            vectors, configs, entropies = ask_generation(
-                engine, encoder, population, iteration, injected, rng,
-                max_decode_attempts=max_decode_attempts,
-                name_prefix="naas")
-            tasks = []
-            task_members = []
-            for member, config in enumerate(configs):
-                if config is None:
-                    continue
-                tasks.append(_CandidateTask(
-                    accel=config, networks=networks, cost_model=cost_model,
-                    mapping_budget=budget.mapping,
-                    entropy=entropies[member],
-                    mapping_style=mapping_style, reward_fn=reward_fn))
-                task_members.append(member)
-            outcomes = evaluator.evaluate(tasks)
-            evaluations += len(tasks)
-
-            # Tell: fold the batch back in submission order (ties keep
-            # the earliest candidate, matching the serial loop).
-            fitnesses = [math.inf] * population
-            for member, (reward, costs, maps) in zip(task_members, outcomes):
-                fitnesses[member] = reward
-                if math.isfinite(reward) and reward < best_reward:
-                    best_reward = reward
-                    best_config = configs[member]
-                    best_costs = costs
-                    best_maps = maps
-            engine.tell(vectors, fitnesses)
-            stats = IterationStats.from_fitnesses(
-                iteration, fitnesses, population)
-            history.append(stats)
-            logger.info("NAAS iter %d: best reward %.3e (%d/%d valid)",
-                        iteration, best_reward, stats.valid_count,
-                        population)
+    with build_evaluator(_evaluate_candidate, workers=workers, cache=cache,
+                         schedule=schedule, shards=shards) as evaluator:
+        history = run_search_loop(loop, evaluator)
 
     return AcceleratorSearchResult(
-        best_config=best_config,
-        best_reward=best_reward,
-        network_costs=best_costs,
-        best_mappings=best_maps,
+        best_config=loop.best_config,
+        best_reward=loop.best_reward,
+        network_costs=loop.best_costs,
+        best_mappings=loop.best_maps,
         history=tuple(history),
-        evaluations=evaluations,
+        evaluations=loop.evaluations,
         cache_stats=CacheStats(
             hits=cache.hits, misses=cache.misses,
             disk_hits=getattr(cache, "disk_hits", 0), entries=len(cache)),

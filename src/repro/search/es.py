@@ -11,7 +11,7 @@ samples concentrate near them. A variance floor keeps exploration alive.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,7 +19,68 @@ from repro.errors import SearchError
 from repro.utils.rng import SeedLike, ensure_rng
 
 
-class EvolutionEngine:
+class PartialTellMixin:
+    """Incremental tell surface for ask/tell engines.
+
+    The asynchronous evaluation engine delivers candidate fitnesses as
+    worker slots complete, not as whole generations. This mixin buffers
+    those partial tells and applies them as *one* distribution update at
+    a commit boundary, which is what keeps asynchronous completion order
+    out of the engine's state:
+
+    - :meth:`tell_partial` buffers ``(index, candidate, fitness)``
+      triples without touching the distribution. ``indices`` are the
+      candidates' submission positions within the generation; when
+      omitted, arrival order is used.
+    - :meth:`commit` sorts the buffer by submission index (a stable
+      sort, so index-less entries keep arrival order) and applies a
+      single :meth:`update` — bit-identical to one batched ``tell`` of
+      the full generation, whatever order the results landed in.
+
+    ``tell(candidates, fitnesses)`` remains the batched shorthand for
+    ``tell_partial`` + ``commit``.
+    """
+
+    def tell_partial(self, candidates: Sequence[np.ndarray],
+                     fitnesses: Sequence[float],
+                     indices: Optional[Sequence[int]] = None) -> None:
+        """Buffer part of a generation's results without updating."""
+        if len(candidates) != len(fitnesses):
+            raise SearchError("candidates and fitnesses length mismatch")
+        if indices is not None and len(indices) != len(candidates):
+            raise SearchError("candidates and indices length mismatch")
+        buffer = self._pending_tells
+        for offset, (candidate, fitness) in enumerate(
+                zip(candidates, fitnesses)):
+            index = len(buffer) if indices is None else indices[offset]
+            buffer.append((index, candidate, fitness))
+
+    def commit(self) -> None:
+        """Apply the buffered partial tells as one generation.
+
+        A no-op when nothing is buffered (no phantom generations); an
+        all-infeasible buffer still counts as exactly one generation.
+        """
+        if not self._pending_tells:
+            return
+        pending = sorted(self._pending_tells, key=lambda entry: entry[0])
+        self._pending_tells = []
+        self.update([entry[1] for entry in pending],
+                    [entry[2] for entry in pending])
+
+    def tell(self, candidates: Sequence[np.ndarray],
+             fitnesses: Sequence[float]) -> None:
+        """Report one full generation (tell half of ask/tell)."""
+        self.tell_partial(candidates, fitnesses)
+        self.commit()
+
+    @property
+    def pending_tells(self) -> int:
+        """How many partial results are buffered awaiting commit."""
+        return len(self._pending_tells)
+
+
+class EvolutionEngine(PartialTellMixin):
     """Ask/tell evolution strategy on the unit hypercube (minimization)."""
 
     def __init__(self, num_params: int,
@@ -49,6 +110,7 @@ class EvolutionEngine:
         self.cov = np.eye(num_params) * sigma_init**2
         self._chol = np.linalg.cholesky(self.cov)
         self.generation = 0
+        self._pending_tells: List[Tuple[int, np.ndarray, float]] = []
 
     def sample(self) -> np.ndarray:
         """Draw one candidate vector, clipped to the unit cube."""
@@ -66,11 +128,6 @@ class EvolutionEngine:
             raise SearchError(f"ask count must be >= 0, got {count}")
         return [self.sample() for _ in range(count)]
 
-    def tell(self, candidates: Sequence[np.ndarray],
-             fitnesses: Sequence[float]) -> None:
-        """Report the batch's fitnesses (tell half of ask/tell)."""
-        self.update(candidates, fitnesses)
-
     def update(self, candidates: Sequence[np.ndarray],
                fitnesses: Sequence[float]) -> None:
         """Re-center the distribution on the fittest candidates.
@@ -81,10 +138,15 @@ class EvolutionEngine:
         """
         if len(candidates) != len(fitnesses):
             raise SearchError("candidates and fitnesses length mismatch")
+        # One well-defined point for the generation counter: every update
+        # call is exactly one generation, whether or not any candidate
+        # was feasible. (It used to sit between the validation and the
+        # early return below, which made the all-infeasible semantics
+        # easy to break when editing either.)
+        self.generation += 1
         scored = [(fit, np.asarray(vec, dtype=float))
                   for vec, fit in zip(candidates, fitnesses)
                   if math.isfinite(fit)]
-        self.generation += 1
         if not scored:
             return
         scored.sort(key=lambda pair: pair[0])

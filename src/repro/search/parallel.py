@@ -1,34 +1,64 @@
-"""Batched parallel candidate evaluation for the nested NAAS loops.
+"""Parallel candidate evaluation for the nested NAAS loops.
 
 Every generation of the outer searches is embarrassingly parallel: each
 candidate accelerator (and, in the joint search, each per-candidate NAS
-run) is scored independently. This module provides the fan-out machinery
-the ask/tell refactor plugs into:
+run) is scored independently. This module provides the execution layer
+those searches run on:
 
-- :class:`ParallelEvaluator` maps a batch of payloads over a module-level
-  worker function, either inline (``workers=1``) or across a
-  :class:`~concurrent.futures.ProcessPoolExecutor`.
+- :class:`ParallelEvaluator` (``--schedule batched``) maps a generation
+  over the worker pool in ``workers`` contiguous chunks — one snapshot,
+  one round-trip per chunk. Simple, but a chunk that happens to hold the
+  slowest candidates serializes everything behind them on one worker.
+- :class:`AsyncEvaluator` (``--schedule async``) submits candidates
+  *individually* and keeps every worker slot full: the moment a slot
+  frees up it pulls the next pending candidate, so a skewed
+  per-candidate cost distribution no longer idles the rest of the pool.
+  Results land in completion order into a :class:`CommitBuffer` and are
+  committed in **submission order** at the generation's commit boundary,
+  which is what keeps the ``workers=1`` ↔ ``workers=N`` bit-identity
+  contract intact (see below).
+- :class:`ShardPlan` layers *population sharding* over either schedule:
+  each generation is split across ``shards`` logical shards, each
+  evaluating its slice against its own cache snapshot (processes today,
+  hosts later — with a :class:`~repro.search.diskcache.TieredEvaluationCache`
+  the disk store is the shared tier shards reduce into), and a reducer
+  merges cache deltas and results back deterministically in shard order.
+- :func:`run_search_loop` is the one generation driver all four outer
+  searches (accelerator, joint, NAS, quantization) share: ask a
+  generation from a :class:`GenerationLoop`, dispatch the decodable
+  members through an evaluator, stitch outcomes back to member slots in
+  submission order, tell, record :class:`~repro.search.result.IterationStats`.
 - Each worker task receives a :meth:`~repro.search.cache.EvaluationCache.snapshot`
-  of the master cache taken at generation start; worker hit/miss counters
-  and new entries are :meth:`~repro.search.cache.EvaluationCache.merge`-d
-  back after the batch completes. With a
-  :class:`~repro.search.diskcache.TieredEvaluationCache` the snapshot is
-  an empty L1 plus a disk-store handle: workers read through to the
-  persistent tier and append what they compute to their own shard files,
-  so neither direction of a batch pickles the full cache.
+  of the master cache taken at generation start; worker hit/miss
+  counters and new entries are merged back at the commit boundary. With
+  a :class:`~repro.search.diskcache.TieredEvaluationCache` the snapshot
+  is an empty L1 plus a disk-store handle: workers read through to the
+  persistent tier and append what they compute to their own shard
+  files, so neither direction of a batch pickles the full cache. (The
+  async schedule submits one task per candidate, so with the *plain*
+  in-memory cache it pickles the generation-start snapshot once per
+  candidate rather than once per chunk — pair ``--schedule async`` with
+  ``--cache-dir`` when the in-memory cache is large.)
 
 Determinism contract
 --------------------
-``workers=1`` and ``workers=N`` produce bit-identical search results
-because the search loops uphold two invariants:
+``workers=1`` and ``workers=N`` — and ``--schedule batched`` vs
+``--schedule async``, at any ``--shards`` — produce bit-identical search
+results because the search loops uphold three invariants:
 
 1. per-candidate seeds are derived *in batch* (``spawn_rngs``) before any
    evaluation is dispatched, so the parent stream never observes
-   evaluation order; and
+   evaluation order;
 2. every stochastic sub-search is seeded from
    :func:`repro.utils.rng.derive_seed` over its cache key, so a cache hit
    returns exactly what a fresh computation would — cache state (and
-   therefore worker scheduling) can never change a result, only its cost.
+   therefore worker scheduling) can never change a result, only its
+   cost; and
+3. tells are applied at *commit boundaries*: results are buffered as
+   they complete and committed in submission order once the full
+   generation has landed, so the engines
+   (:class:`~repro.search.es.EvolutionEngine` via ``tell_partial`` /
+   ``commit``) never observe completion order.
 
 Worker functions must be module-level (picklable by qualified name) and
 take ``(payload, cache)``, returning a picklable result.
@@ -36,15 +66,25 @@ take ``(payload, cache)``, returning a picklable result.
 
 from __future__ import annotations
 
+import dataclasses
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.errors import EncodingError, SearchError
 from repro.search.cache import EvaluationCache
+from repro.search.result import IterationStats
 from repro.utils.logging import get_logger
 from repro.utils.rng import seed_entropy, spawn_rngs
 
@@ -53,14 +93,31 @@ logger = get_logger(__name__)
 #: A worker maps ``(payload, cache-or-None)`` to a picklable result.
 WorkerFn = Callable[[Any, Optional[EvaluationCache]], Any]
 
+#: The evaluation schedules ``build_evaluator`` understands. ``batched``
+#: is the chunk-per-worker reference; ``async`` keeps worker slots full
+#: with per-candidate futures.
+SCHEDULES: Tuple[str, ...] = ("batched", "async")
+
 
 def resolve_workers(workers: Optional[int]) -> int:
-    """Normalize a ``--workers`` value: ``None``/``0`` means all cores."""
+    """Normalize a ``--workers`` value.
+
+    ``None`` and ``0`` both mean "use every core" (``os.cpu_count()``);
+    positive values are taken literally; negative values are rejected.
+    """
     if workers is None or workers == 0:
         return os.cpu_count() or 1
     if workers < 0:
         raise SearchError(f"workers must be >= 0, got {workers}")
     return workers
+
+
+def resolve_schedule(schedule: str) -> str:
+    """Validate a ``--schedule`` value against :data:`SCHEDULES`."""
+    if schedule not in SCHEDULES:
+        raise SearchError(
+            f"unknown schedule {schedule!r}; expected one of {SCHEDULES}")
+    return schedule
 
 
 def split_chunks(items: Sequence[Any], parts: int) -> List[List[Any]]:
@@ -84,9 +141,9 @@ def split_chunks(items: Sequence[Any], parts: int) -> List[List[Any]]:
 def _run_chunk(worker_fn: WorkerFn, payloads: Sequence[Any],
                cache: Optional[EvaluationCache],
                ) -> Tuple[List[Any], Optional[EvaluationCache]]:
-    """Evaluate one worker's share of the batch against its private cache.
+    """Evaluate one task group against its private cache snapshot.
 
-    Only the *delta* — entries the chunk added on top of its snapshot —
+    Only the *delta* — entries the group added on top of its snapshot —
     travels back for the merge, so return-path serialization scales with
     new work rather than with cumulative cache size.
     """
@@ -97,64 +154,273 @@ def _run_chunk(worker_fn: WorkerFn, payloads: Sequence[Any],
     return results, cache.delta_since(baseline)
 
 
-class ParallelEvaluator:
-    """Fans batched candidate evaluations out over worker processes.
+class CommitBuffer:
+    """Buffers out-of-order completions; commits in submission order.
+
+    The asynchronous schedule's determinism hinge: results :meth:`land`
+    keyed by their submission index, in whatever order worker slots
+    complete, and :meth:`committed` releases them in submission order
+    only once the whole generation is present. Any permutation of
+    ``land`` calls therefore yields an identical commit.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise SearchError(f"buffer size must be >= 0, got {size}")
+        self._outcomes: List[Any] = [None] * size
+        self._landed = [False] * size
+        self._remaining = size
+
+    def land(self, index: int, outcome: Any) -> None:
+        """Record the outcome for submission slot ``index``."""
+        if not 0 <= index < len(self._outcomes):
+            raise SearchError(
+                f"index {index} outside buffer of {len(self._outcomes)}")
+        if self._landed[index]:
+            raise SearchError(f"slot {index} already landed")
+        self._outcomes[index] = outcome
+        self._landed[index] = True
+        self._remaining -= 1
+
+    @property
+    def full(self) -> bool:
+        return self._remaining == 0
+
+    @property
+    def missing(self) -> List[int]:
+        """Submission indices that have not landed yet."""
+        return [i for i, landed in enumerate(self._landed) if not landed]
+
+    def committed(self) -> List[Any]:
+        """All outcomes, in submission order (requires :attr:`full`)."""
+        if not self.full:
+            raise SearchError(
+                f"commit before full: {self._remaining} slots outstanding")
+        return list(self._outcomes)
+
+
+@dataclasses.dataclass
+class ShardOutcome:
+    """One shard's contribution to a generation: its slice's results in
+    submission order plus the cache delta the slice computed."""
+
+    results: List[Any]
+    delta: Optional[EvaluationCache]
+
+
+class ShardPlan:
+    """Splits a generation across logical shards and reduces results.
+
+    A shard is the unit that could live on another host: it evaluates a
+    contiguous slice of the population against its *own* cache snapshot
+    (taken at generation start, so shards never observe each other
+    mid-generation) and reports a :class:`ShardOutcome`. The reducer
+    folds outcomes back **in shard order** — results concatenate to
+    submission order, deltas merge into the master cache one shard at a
+    time — so the reduce is deterministic whatever order shards finish.
+
+    Today every shard runs in this process (its slice still fans out
+    over the worker pool); with a
+    :class:`~repro.search.diskcache.TieredEvaluationCache` the disk
+    store already is the shared tier a multi-host deployment would
+    reduce into, since each shard's workers append what they compute to
+    their own shard files.
+    """
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise SearchError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+
+    def split(self, items: Sequence[Any]) -> List[List[Any]]:
+        """Contiguous, balanced shard slices (at most ``shards`` of them)."""
+        return split_chunks(items, self.shards)
+
+    def reduce(self, outcomes: Sequence[ShardOutcome],
+               cache: Optional[EvaluationCache] = None) -> List[Any]:
+        """Fold shard outcomes back deterministically, in shard order."""
+        results: List[Any] = []
+        for outcome in outcomes:
+            results.extend(outcome.results)
+            if cache is not None and outcome.delta is not None:
+                cache.merge(outcome.delta)
+        return results
+
+
+class _EvaluatorBase:
+    """Shared machinery of the batched and async evaluation schedules.
 
     ``workers=1`` evaluates inline against the master cache — no
     subprocess, no snapshot/merge, no pickling — and is the reference
-    behavior the parallel path must reproduce bit-identically.
+    behavior every parallel path must reproduce bit-identically.
 
     The executor is created lazily on the first parallel batch and must
     be released with :meth:`close` (or by using the instance as a context
     manager). Worker processes are recycled across generations; only the
-    cache snapshots travel per batch.
+    cache snapshots travel per batch. ``executor_factory`` exists for
+    tests that need deterministic control over completion order and
+    failure injection.
     """
 
     def __init__(self, worker_fn: WorkerFn, workers: int = 1,
-                 cache: Optional[EvaluationCache] = None) -> None:
+                 cache: Optional[EvaluationCache] = None,
+                 shards: int = 1,
+                 executor_factory: Optional[Callable[[int], Any]] = None,
+                 ) -> None:
         self.worker_fn = worker_fn
         self.workers = resolve_workers(workers)
         self.cache = cache
-        self._executor: Optional[ProcessPoolExecutor] = None
+        self.shards = shards
+        self._plan = ShardPlan(shards)
+        self._executor: Optional[Any] = None
+        self._executor_factory = executor_factory
+
+    # ----- public API ---------------------------------------------------
 
     def evaluate(self, payloads: Sequence[Any]) -> List[Any]:
-        """Evaluate a batch, returning results in submission order."""
+        """Evaluate a generation, returning results in submission order."""
         payloads = list(payloads)
         if not payloads:
             return []
+        if self.shards > 1:
+            return self._evaluate_sharded(payloads)
+        return self._evaluate_slice(payloads, self.cache)
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "_EvaluatorBase":
+        return self
+
+    def __exit__(self, *_exc_info: Any) -> None:
+        self.close()
+
+    # ----- sharding -----------------------------------------------------
+
+    def _evaluate_sharded(self, payloads: List[Any]) -> List[Any]:
+        slices = self._plan.split(payloads)
+        # Every shard's snapshot is taken up front, before any shard
+        # evaluates — each sees the generation-start cache exactly as it
+        # would on its own host.
+        snapshots = [self.cache.snapshot() if self.cache is not None else None
+                     for _ in slices]
+        outcomes: List[ShardOutcome] = []
+        for shard_slice, snapshot in zip(slices, snapshots):
+            if snapshot is None:
+                outcomes.append(ShardOutcome(
+                    results=self._evaluate_slice(shard_slice, None),
+                    delta=None))
+                continue
+            baseline = snapshot.keys()
+            results = self._evaluate_slice(shard_slice, snapshot)
+            outcomes.append(ShardOutcome(
+                results=results, delta=snapshot.delta_since(baseline)))
+        return self._plan.reduce(outcomes, cache=self.cache)
+
+    # ----- one shard (or the whole generation when shards == 1) --------
+
+    def _evaluate_slice(self, payloads: List[Any],
+                        cache: Optional[EvaluationCache]) -> List[Any]:
         if self.workers > 1:
             executor = self._ensure_executor()
             if executor is not None:
-                try:
-                    return self._evaluate_parallel(executor, payloads)
-                except (OSError, BrokenProcessPool) as exc:
-                    # Fork/spawn can also fail at submit time (seccomp,
-                    # cgroup limits), not just at pool construction.
-                    # Content-derived seeds make inline re-evaluation
-                    # return the same results; already-merged chunk
-                    # caches only add valid entries.
-                    logger.warning(
-                        "worker pool failed (%s); evaluating inline", exc)
-                    self._degrade_to_inline()
-        return [self.worker_fn(payload, self.cache)
-                for payload in payloads]
+                groups = self._task_groups(payloads)
+                outcomes = self._dispatch(executor, groups, cache)
+                return self._commit(outcomes, cache)
+        return [self.worker_fn(payload, cache) for payload in payloads]
 
-    def _evaluate_parallel(self, executor: ProcessPoolExecutor,
-                           payloads: Sequence[Any]) -> List[Any]:
-        chunks = split_chunks(payloads, self.workers)
-        futures = [
-            executor.submit(
-                _run_chunk, self.worker_fn, chunk,
-                self.cache.snapshot() if self.cache is not None else None)
-            for chunk in chunks
-        ]
+    def _task_groups(self, payloads: List[Any]) -> List[List[Any]]:
+        """How this schedule partitions a slice into executor tasks."""
+        raise NotImplementedError
+
+    def _dispatch(self, executor: Any, groups: List[List[Any]],
+                  cache: Optional[EvaluationCache],
+                  ) -> List[Tuple[List[Any], Optional[EvaluationCache]]]:
+        """Submit task groups and gather their outcomes, salvage-aware."""
+        snapshot = cache.snapshot() if cache is not None else None
+        futures: List[Future] = []
+        submit_failure: Optional[BaseException] = None
+        for group in groups:
+            try:
+                futures.append(executor.submit(
+                    _run_chunk, self.worker_fn, group, snapshot))
+            except (OSError, BrokenProcessPool) as exc:
+                # Fork/spawn can also fail at submit time (seccomp,
+                # cgroup limits), not just at pool construction.
+                submit_failure = exc
+                break
+        buffer = CommitBuffer(len(groups))
+        failure = submit_failure
+        if failure is None:
+            failure = self._land_completions(futures, buffer)
+        if failure is None:
+            return buffer.committed()
+        return self._salvage(failure, futures, groups, buffer, cache)
+
+    def _land_completions(self, futures: List[Future],
+                          buffer: CommitBuffer) -> Optional[BaseException]:
+        """Land future results into the buffer (schedule-specific order).
+
+        Returns the pool failure to salvage from, if one occurred.
+        Worker-raised exceptions (anything that is not a pool/OS
+        failure) propagate to the caller unchanged.
+        """
+        raise NotImplementedError
+
+    def _salvage(self, failure: BaseException, futures: List[Future],
+                 groups: List[List[Any]], buffer: CommitBuffer,
+                 cache: Optional[EvaluationCache],
+                 ) -> List[Tuple[List[Any], Optional[EvaluationCache]]]:
+        """Recover from a mid-batch pool failure without losing work.
+
+        Futures that completed cleanly before the pool broke keep their
+        results (content-derived evaluation seeds make them identical to
+        inline recomputations); only the remainder is re-evaluated
+        inline, against the target cache directly. The pool is torn down
+        and the evaluator degrades to inline for subsequent generations.
+        """
+        # Let in-flight futures settle: a broken pool marks them all
+        # failed almost immediately, but a clean completion racing the
+        # breakage is worth the short wait.
+        outstanding = [futures[index] for index in buffer.missing
+                       if index < len(futures)]
+        if outstanding:
+            wait(outstanding, timeout=5.0)
+        salvaged = 0
+        for index in buffer.missing:
+            if index >= len(futures):
+                continue  # never submitted
+            future = futures[index]
+            if (future.done() and not future.cancelled()
+                    and future.exception() is None):
+                buffer.land(index, future.result())
+                salvaged += 1
+        remainder = buffer.missing
+        logger.warning(
+            "worker pool failed (%s); salvaged %d completed task groups, "
+            "re-evaluating %d inline", failure, salvaged, len(remainder))
+        self._degrade_to_inline()
+        for index in remainder:
+            buffer.land(index, (
+                [self.worker_fn(payload, cache) for payload in groups[index]],
+                None))
+        return buffer.committed()
+
+    def _commit(self, outcomes: Sequence[Tuple[List[Any],
+                                               Optional[EvaluationCache]]],
+                cache: Optional[EvaluationCache]) -> List[Any]:
+        """Commit boundary: fold outcomes back in submission order."""
         results: List[Any] = []
-        for future in futures:
-            chunk_results, worker_cache = future.result()
-            results.extend(chunk_results)
-            if self.cache is not None and worker_cache is not None:
-                self.cache.merge(worker_cache)
+        for group_results, delta in outcomes:
+            results.extend(group_results)
+            if cache is not None and delta is not None:
+                cache.merge(delta)
         return results
+
+    # ----- pool lifecycle ----------------------------------------------
 
     def _degrade_to_inline(self) -> None:
         self.workers = 1
@@ -165,10 +431,13 @@ class ParallelEvaluator:
             except Exception:  # broken pools may refuse even shutdown
                 pass
 
-    def _ensure_executor(self) -> Optional[ProcessPoolExecutor]:
+    def _ensure_executor(self) -> Optional[Any]:
         if self._executor is None:
+            factory = self._executor_factory or (
+                lambda max_workers: ProcessPoolExecutor(
+                    max_workers=max_workers))
             try:
-                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+                self._executor = factory(self.workers)
             except OSError as exc:
                 # Sandboxes without fork/spawn support still get correct
                 # (serial) results; the determinism contract makes the two
@@ -179,17 +448,153 @@ class ParallelEvaluator:
                 return None
         return self._executor
 
-    def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
 
-    def __enter__(self) -> "ParallelEvaluator":
-        return self
+class ParallelEvaluator(_EvaluatorBase):
+    """Batched schedule: one contiguous chunk of the slice per worker.
 
-    def __exit__(self, *_exc_info: Any) -> None:
-        self.close()
+    The reference parallel path (and the default, ``--schedule
+    batched``): lowest per-generation overhead — one snapshot pickle and
+    one round-trip per worker — but a chunk that draws the expensive
+    candidates serializes them on a single worker while the rest of the
+    pool idles. Use :class:`AsyncEvaluator` when per-candidate cost is
+    skewed.
+    """
+
+    def _task_groups(self, payloads: List[Any]) -> List[List[Any]]:
+        return split_chunks(payloads, self.workers)
+
+    def _land_completions(self, futures: List[Future],
+                          buffer: CommitBuffer) -> Optional[BaseException]:
+        for index, future in enumerate(futures):
+            try:
+                buffer.land(index, future.result())
+            except (OSError, BrokenProcessPool) as exc:
+                return exc
+        return None
+
+
+class AsyncEvaluator(_EvaluatorBase):
+    """Asynchronous schedule: per-candidate futures, slots always full.
+
+    Every candidate is its own task, so the moment a worker slot
+    completes it pulls the next pending candidate from the executor's
+    queue — no candidate waits behind an unrelated slow one on the same
+    worker. Completions land out of order into a :class:`CommitBuffer`
+    and are committed in submission order once the whole slice has
+    landed (the commit boundary), so results — and everything the search
+    loops derive from them — are bit-identical to the batched and serial
+    schedules for any completion order.
+    """
+
+    def _task_groups(self, payloads: List[Any]) -> List[List[Any]]:
+        return [[payload] for payload in payloads]
+
+    def _land_completions(self, futures: List[Future],
+                          buffer: CommitBuffer) -> Optional[BaseException]:
+        index_of: Dict[Future, int] = {
+            future: index for index, future in enumerate(futures)}
+        pending = set(futures)
+        while pending:
+            done, pending = self._wait_any(pending)
+            for future in done:
+                try:
+                    buffer.land(index_of[future], future.result())
+                except (OSError, BrokenProcessPool) as exc:
+                    return exc
+        return None
+
+    def _wait_any(self, pending: set) -> Tuple[set, set]:
+        """Block until at least one pending future completes.
+
+        Overridable seam: the determinism tests replace it to replay
+        every completion-order permutation deterministically.
+        """
+        done, still_pending = wait(pending, return_when=FIRST_COMPLETED)
+        return done, still_pending
+
+
+_SCHEDULE_CLASSES = {
+    "batched": ParallelEvaluator,
+    "async": AsyncEvaluator,
+}
+
+
+def build_evaluator(worker_fn: WorkerFn, workers: int = 1,
+                    cache: Optional[EvaluationCache] = None,
+                    schedule: str = "batched",
+                    shards: int = 1) -> _EvaluatorBase:
+    """The evaluator a search run should use for its execution config.
+
+    ``schedule`` picks :class:`ParallelEvaluator` (``batched``) or
+    :class:`AsyncEvaluator` (``async``); ``shards`` layers a
+    :class:`ShardPlan` over either. All combinations return bit-identical
+    search results; they differ only in wall-clock and in how cache
+    state travels.
+    """
+    cls = _SCHEDULE_CLASSES[resolve_schedule(schedule)]
+    return cls(worker_fn, workers=workers, cache=cache, shards=shards)
+
+
+class GenerationLoop:
+    """Protocol for :func:`run_search_loop`: one object per search run.
+
+    A loop owns the search-specific state (engine or population, best
+    tracking, evaluation counters) and exposes the two halves of a
+    generation:
+
+    - ``ask(iteration)`` returns one payload per population member, with
+      ``None`` marking members that cannot be evaluated (e.g. no valid
+      decode); ``None`` slots score ``math.inf`` without dispatching.
+    - ``tell(iteration, outcomes)`` receives the outcomes aligned with
+      ``ask``'s members (``None`` for skipped slots), folds them into the
+      loop's state — engine ``tell_partial`` + ``commit``, best-so-far,
+      next population — and returns the per-member fitness list the
+      generation's :class:`~repro.search.result.IterationStats` are
+      computed from.
+
+    ``iterations`` bounds the loop. The driver guarantees ``tell`` sees
+    outcomes in submission order regardless of evaluator schedule.
+    """
+
+    iterations: int
+
+    def ask(self, iteration: int) -> List[Optional[Any]]:
+        raise NotImplementedError
+
+    def tell(self, iteration: int,
+             outcomes: List[Optional[Any]]) -> Sequence[float]:
+        raise NotImplementedError
+
+
+def run_search_loop(loop: GenerationLoop,
+                    evaluator: _EvaluatorBase) -> List[IterationStats]:
+    """Drive a :class:`GenerationLoop` to completion on an evaluator.
+
+    The one generation loop all outer searches share: ask, dispatch the
+    decodable members, stitch results back to member slots in submission
+    order, tell at the commit boundary, record stats. Returns the
+    per-generation history.
+    """
+    history: List[IterationStats] = []
+    for iteration in range(loop.iterations):
+        members = loop.ask(iteration)
+        tasks = [member for member in members if member is not None]
+        results = evaluator.evaluate(tasks)
+        cursor = iter(results)
+        outcomes = [next(cursor) if member is not None else None
+                    for member in members]
+        fitnesses = loop.tell(iteration, outcomes)
+        stats = IterationStats.from_fitnesses(
+            iteration, tuple(fitnesses), len(members))
+        history.append(stats)
+        # DEBUG, not INFO: this line fires for every generation of every
+        # nested loop (the joint search runs a whole inner NAS per
+        # candidate), and per-iteration progress is debug-level by the
+        # package's logging convention.
+        logger.debug("%s gen %d: best %.3e (%d/%d valid)",
+                     type(loop).__name__, iteration, stats.best_fitness,
+                     stats.valid_count, len(members))
+    return history
 
 
 def ask_generation(engine: Any, encoder: Any, population: int,

@@ -19,7 +19,7 @@ from repro.nas.ofa_space import ResNetArch
 from repro.nas.search import NASBudget, NASResult, search_architecture
 from repro.search.cache import EvaluationCache
 from repro.search.mapping_search import MappingSearchBudget
-from repro.search.parallel import ParallelEvaluator
+from repro.search.parallel import build_evaluator
 from repro.utils.rng import SeedLike, ensure_rng, seed_entropy, spawn_rngs
 
 
@@ -113,6 +113,8 @@ def sweep_accuracy_frontier(accel: AcceleratorConfig,
                             predictor: Optional[AccuracyPredictor] = None,
                             workers: int = 1,
                             cache_dir: Optional[str] = None,
+                            schedule: str = "batched",
+                            shards: int = 1,
                             ) -> List[FrontierPoint]:
     """Trace the accuracy/EDP frontier on fixed hardware.
 
@@ -120,8 +122,11 @@ def sweep_accuracy_frontier(accel: AcceleratorConfig,
     best point. The returned list is the non-dominated subset.
     ``workers`` fans the (independent) per-floor runs out in parallel;
     per-floor seeds are batch-derived before any run starts, so any
-    worker count returns the same frontier. ``cache_dir`` backs every
-    floor's run with the shared persistent disk tier.
+    worker count — and either ``schedule``, at any ``shards`` — returns
+    the same frontier. Per-floor wall-clock varies wildly with how
+    tight the floor is, so ``schedule="async"`` pays off here.
+    ``cache_dir`` backs every floor's run with the shared persistent
+    disk tier.
     """
     rng = ensure_rng(seed)
     predictor = predictor or AccuracyPredictor()
@@ -133,7 +138,8 @@ def sweep_accuracy_frontier(accel: AcceleratorConfig,
                         mapping_budget=mapping_budget, entropy=entropy,
                         predictor=predictor, cache_dir=cache_dir)
              for floor, entropy in zip(floors, entropies)]
-    with ParallelEvaluator(_search_floor, workers=workers) as evaluator:
+    with build_evaluator(_search_floor, workers=workers, schedule=schedule,
+                         shards=shards) as evaluator:
         results = evaluator.evaluate(tasks)
     points: List[FrontierPoint] = []
     for floor, result in zip(floors, results):

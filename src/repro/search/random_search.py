@@ -7,15 +7,16 @@ the evolution strategy's improves.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import SearchError
+from repro.search.es import PartialTellMixin
 from repro.utils.rng import SeedLike, ensure_rng
 
 
-class RandomEngine:
+class RandomEngine(PartialTellMixin):
     """Drop-in, non-adaptive replacement for
     :class:`repro.search.es.EvolutionEngine`."""
 
@@ -25,6 +26,7 @@ class RandomEngine:
         self.num_params = num_params
         self.rng = ensure_rng(seed)
         self.generation = 0
+        self._pending_tells: List[Tuple[int, np.ndarray, float]] = []
 
     def sample(self) -> np.ndarray:
         return self.rng.random(self.num_params)
@@ -34,11 +36,6 @@ class RandomEngine:
         if count < 0:
             raise SearchError(f"ask count must be >= 0, got {count}")
         return [self.sample() for _ in range(count)]
-
-    def tell(self, candidates: Sequence[np.ndarray],
-             fitnesses: Sequence[float]) -> None:
-        """Report the batch's fitnesses; a random engine never adapts."""
-        self.update(candidates, fitnesses)
 
     def update(self, candidates: Sequence[np.ndarray],
                fitnesses: Sequence[float]) -> None:

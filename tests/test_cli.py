@@ -1,10 +1,11 @@
 """Tests for the command-line interface."""
 
+import argparse
 import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _add_execution_args, build_parser, main
 
 
 class TestParser:
@@ -19,6 +20,39 @@ class TestParser:
     def test_rejects_unknown_preset(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["evaluate", "vgg16", "tpu9"])
+
+    def test_rejects_negative_workers(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["search", "squeezenet", "shidiannao", "--workers", "-2"])
+        assert "--workers must be >= 0" in capsys.readouterr().err
+
+    def test_workers_help_documents_all_cores(self):
+        args = build_parser().parse_args(
+            ["search", "squeezenet", "shidiannao", "--workers", "0"])
+        assert args.workers == 0  # 0 = all cores, accepted
+        scratch = argparse.ArgumentParser(prog="scratch")
+        _add_execution_args(scratch)
+        help_text = " ".join(scratch.format_help().split())
+        assert "0 means one per CPU core" in help_text
+        assert "--schedule" in help_text and "--shards" in help_text
+
+    def test_rejects_invalid_shards(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["search", "squeezenet", "shidiannao", "--shards", "0"])
+        assert "--shards must be >= 1" in capsys.readouterr().err
+
+    def test_rejects_unknown_schedule(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["experiment", "fig4", "--schedule", "steady-state"])
+
+    def test_schedule_and_shards_accepted(self):
+        args = build_parser().parse_args(
+            ["search", "squeezenet", "shidiannao",
+             "--schedule", "async", "--shards", "3", "--workers", "2"])
+        assert (args.schedule, args.shards, args.workers) == ("async", 3, 2)
 
 
 class TestCommands:
@@ -68,3 +102,12 @@ class TestCommands:
         strip = lambda out: [line for line in out.splitlines()  # noqa: E731
                              if not line.startswith("cache")]
         assert strip(first) == strip(second)
+
+    def test_search_async_schedule_matches_batched(self, capsys):
+        base = ["search", "squeezenet", "shidiannao", "--seed", "0"]
+        assert main(base) == 0
+        batched = capsys.readouterr().out
+        assert main(base + ["--schedule", "async", "--workers", "2",
+                            "--shards", "2"]) == 0
+        asynchronous = capsys.readouterr().out
+        assert asynchronous == batched

@@ -1,0 +1,496 @@
+"""Determinism suite for the asynchronous evaluation engine.
+
+The contract under test: any completion order of worker futures — and
+any ``schedule``/``workers``/``shards`` combination — yields a
+bit-identical final search result versus the serial path, because
+results land index-keyed into a commit buffer and every tell is applied
+at a commit boundary in submission order.
+"""
+
+import itertools
+import math
+import pickle
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+import pytest
+
+from repro.accelerator.presets import baseline_constraint, baseline_preset
+from repro.cost.model import CostModel
+from repro.errors import SearchError
+from repro.nas.joint import JointBudget, search_joint
+from repro.nas.ofa_space import OFAResNetSpace
+from repro.nas.quantization import (
+    QuantizedAccuracyPredictor,
+    QuantPairEngine,
+    search_quantized,
+)
+from repro.nas.search import NASBudget, search_architecture
+from repro.search.accelerator_search import NAASBudget, search_accelerator
+from repro.search.cache import EvaluationCache
+from repro.search.es import EvolutionEngine
+from repro.search.mapping_search import MappingSearchBudget
+from repro.search.parallel import (
+    AsyncEvaluator,
+    CommitBuffer,
+    ParallelEvaluator,
+    ShardOutcome,
+    ShardPlan,
+    build_evaluator,
+    resolve_schedule,
+)
+from repro.search.random_search import RandomEngine
+from repro.tensors.layer import ConvLayer
+from repro.tensors.network import Network
+from repro.utils.rng import ensure_rng
+
+# ---------------------------------------------------------------------------
+# Test doubles: in-process executors with scripted completion/failure.
+# ---------------------------------------------------------------------------
+
+#: Payloads evaluated by _counting worker since the last reset.
+_CALLS = []
+
+
+def _square(payload, cache):
+    if cache is None:
+        return payload * payload
+    return cache.get_or_compute(payload, lambda: payload * payload)
+
+
+def _counting_square(payload, cache):
+    _CALLS.append(payload)
+    return payload * payload
+
+
+class ScriptedExecutor:
+    """Runs submits eagerly and inline, emulating process isolation.
+
+    Arguments are pickle-roundtripped (as a real pool would) so shared
+    snapshot objects cannot leak mutations between task groups, and the
+    worker function must be picklable. ``fail_results`` marks submission
+    indices whose futures fail with :class:`BrokenProcessPool` *instead
+    of running* (their work is genuinely lost, as when a worker dies);
+    ``fail_submit_after`` makes ``submit`` itself raise once that many
+    submissions have been accepted.
+    """
+
+    def __init__(self, fail_results=(), fail_submit_after=None):
+        self.fail_results = set(fail_results)
+        self.fail_submit_after = fail_submit_after
+        self.submitted = 0
+
+    def submit(self, fn, *args):
+        if (self.fail_submit_after is not None
+                and self.submitted >= self.fail_submit_after):
+            raise BrokenProcessPool("injected submit failure")
+        index = self.submitted
+        self.submitted += 1
+        future = Future()
+        future.scripted_index = index
+        if index in self.fail_results:
+            future.set_exception(BrokenProcessPool("injected worker death"))
+            return future
+        fn, *rest = pickle.loads(pickle.dumps((fn, *args)))
+        try:
+            future.set_result(fn(*rest))
+        except BaseException as exc:  # pragma: no cover - defensive
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait=True):
+        pass
+
+
+class PermutedAsyncEvaluator(AsyncEvaluator):
+    """AsyncEvaluator whose futures complete in a scripted permutation."""
+
+    def __init__(self, *args, order, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._order = list(order)
+
+    def _wait_any(self, pending):
+        while self._order:
+            index = self._order[0]
+            future = next((f for f in pending
+                           if getattr(f, "scripted_index", None) == index),
+                          None)
+            if future is None:
+                self._order.pop(0)
+                continue
+            self._order.pop(0)
+            return {future}, pending - {future}
+        return set(pending), set()  # pragma: no cover - script exhausted
+
+
+# ---------------------------------------------------------------------------
+# CommitBuffer: landing order must never matter.
+# ---------------------------------------------------------------------------
+
+
+class TestCommitBuffer:
+    def test_any_landing_permutation_commits_identically(self):
+        outcomes = [f"outcome-{i}" for i in range(5)]
+        reference = None
+        for order in itertools.permutations(range(5)):
+            buffer = CommitBuffer(5)
+            for index in order:
+                buffer.land(index, outcomes[index])
+            assert buffer.full
+            committed = buffer.committed()
+            if reference is None:
+                reference = committed
+            assert committed == reference == outcomes
+
+    def test_commit_before_full_raises(self):
+        buffer = CommitBuffer(2)
+        buffer.land(1, "late slot first")
+        assert not buffer.full
+        assert buffer.missing == [0]
+        with pytest.raises(SearchError):
+            buffer.committed()
+
+    def test_duplicate_landing_raises(self):
+        buffer = CommitBuffer(2)
+        buffer.land(0, "a")
+        with pytest.raises(SearchError):
+            buffer.land(0, "again")
+
+    def test_out_of_range_index_raises(self):
+        with pytest.raises(SearchError):
+            CommitBuffer(2).land(2, "x")
+
+    def test_empty_buffer_is_full(self):
+        assert CommitBuffer(0).committed() == []
+
+
+# ---------------------------------------------------------------------------
+# AsyncEvaluator: per-candidate futures, commit-boundary semantics.
+# ---------------------------------------------------------------------------
+
+
+class TestAsyncEvaluator:
+    def test_matches_inline_and_batched(self):
+        payloads = list(range(11))
+        with ParallelEvaluator(_square, workers=1) as inline:
+            serial = inline.evaluate(payloads)
+        with AsyncEvaluator(_square, workers=3) as fanned:
+            asynchronous = fanned.evaluate(payloads)
+        assert serial == asynchronous == [p * p for p in payloads]
+
+    def test_results_in_submission_order(self):
+        payloads = [5, 1, 4, 2, 3]
+        with AsyncEvaluator(_square, workers=2) as evaluator:
+            assert evaluator.evaluate(payloads) == [25, 1, 16, 4, 9]
+
+    def test_worker_caches_merge_back(self):
+        cache = EvaluationCache()
+        with AsyncEvaluator(_square, workers=2, cache=cache) as evaluator:
+            evaluator.evaluate([1, 2, 3, 4])
+            assert len(cache) == 4
+            first_hits = cache.hits
+            evaluator.evaluate([1, 2, 3, 4])
+        assert cache.hits == first_hits + 4
+
+    def test_worker_exception_propagates(self):
+        with AsyncEvaluator(_boom, workers=2) as evaluator:
+            with pytest.raises(RuntimeError):
+                evaluator.evaluate([1, 2])
+
+    def test_empty_batch(self):
+        with AsyncEvaluator(_square, workers=2) as evaluator:
+            assert evaluator.evaluate([]) == []
+
+    def test_every_completion_order_is_bit_identical(self):
+        """The permutation property at the evaluator level."""
+        payloads = [7, 3, 9, 1]
+        expected = [p * p for p in payloads]
+        for order in itertools.permutations(range(len(payloads))):
+            cache = EvaluationCache()
+            evaluator = PermutedAsyncEvaluator(
+                _square, workers=2, cache=cache, order=order,
+                executor_factory=lambda workers: ScriptedExecutor())
+            assert evaluator.evaluate(payloads) == expected
+            assert len(cache) == len(payloads)
+
+
+def _boom(payload, cache):
+    raise RuntimeError(f"boom {payload}")
+
+
+# ---------------------------------------------------------------------------
+# Pool-failure salvage: completed futures keep their results.
+# ---------------------------------------------------------------------------
+
+
+class TestPoolFailureSalvage:
+    def test_batched_salvages_completed_chunks(self):
+        _CALLS.clear()
+        executor = ScriptedExecutor(fail_results=[1])
+        evaluator = ParallelEvaluator(
+            _counting_square, workers=3,
+            executor_factory=lambda workers: executor)
+        results = evaluator.evaluate([0, 1, 2, 3, 4, 5])
+        assert results == [0, 1, 4, 9, 16, 25]
+        # Chunks 0 and 2 completed before the "pool" broke: their four
+        # payloads ran exactly once (in the executor); only the failed
+        # chunk's two payloads were re-evaluated inline.
+        assert sorted(_CALLS) == [0, 1, 2, 3, 4, 5]
+        assert evaluator.workers == 1  # degraded for later generations
+        assert evaluator.evaluate([6]) == [36]
+
+    def test_async_salvages_completed_candidates(self):
+        _CALLS.clear()
+        executor = ScriptedExecutor(fail_results=[2])
+        evaluator = AsyncEvaluator(
+            _counting_square, workers=2,
+            executor_factory=lambda workers: executor)
+        assert evaluator.evaluate([1, 2, 3, 4]) == [1, 4, 9, 16]
+        assert sorted(_CALLS) == [1, 2, 3, 4]
+
+    def test_submit_failure_runs_remainder_inline(self):
+        _CALLS.clear()
+        executor = ScriptedExecutor(fail_submit_after=1)
+        evaluator = ParallelEvaluator(
+            _counting_square, workers=3,
+            executor_factory=lambda workers: executor)
+        assert evaluator.evaluate([0, 1, 2, 3, 4, 5]) == [0, 1, 4, 9, 16, 25]
+        assert sorted(_CALLS) == [0, 1, 2, 3, 4, 5]
+        assert evaluator.workers == 1
+
+    def test_salvaged_cache_deltas_still_merge(self):
+        cache = EvaluationCache()
+        executor = ScriptedExecutor(fail_results=[1])
+        evaluator = ParallelEvaluator(
+            _square, workers=2, cache=cache,
+            executor_factory=lambda workers: executor)
+        assert evaluator.evaluate([1, 2, 3, 4]) == [1, 4, 9, 16]
+        # both the salvaged chunk's delta and the inline remainder land
+        # in the master cache
+        assert len(cache) == 4
+
+
+# ---------------------------------------------------------------------------
+# ShardPlan: deterministic split + reduce.
+# ---------------------------------------------------------------------------
+
+
+class TestShardPlan:
+    def test_split_contiguous_balanced(self):
+        plan = ShardPlan(3)
+        assert plan.split(list(range(7))) == [[0, 1, 2], [3, 4], [5, 6]]
+
+    def test_invalid_shards(self):
+        with pytest.raises(SearchError):
+            ShardPlan(0)
+        with pytest.raises(SearchError):
+            build_evaluator(_square, shards=0)
+
+    def test_reduce_concatenates_in_shard_order(self):
+        plan = ShardPlan(2)
+        outcomes = [ShardOutcome(results=[1, 2], delta=None),
+                    ShardOutcome(results=[3], delta=None)]
+        assert plan.reduce(outcomes) == [1, 2, 3]
+
+    def test_reduce_merges_deltas_into_master(self):
+        master = EvaluationCache()
+        deltas = []
+        for offset in (0, 10):
+            delta = EvaluationCache()
+            delta.get_or_compute(offset, lambda: offset)
+            deltas.append(delta)
+        plan = ShardPlan(2)
+        plan.reduce([ShardOutcome(results=[], delta=d) for d in deltas],
+                    cache=master)
+        assert len(master) == 2
+        assert master.misses == 2  # counters travel with the deltas
+
+    def test_sharded_evaluate_matches_unsharded(self):
+        payloads = list(range(9))
+        for schedule in ("batched", "async"):
+            for workers in (1, 2):
+                cache = EvaluationCache()
+                with build_evaluator(_square, workers=workers, cache=cache,
+                                     schedule=schedule, shards=3) as ev:
+                    assert ev.evaluate(payloads) == [p * p for p in payloads]
+                assert len(cache) == len(payloads)
+
+    def test_more_shards_than_payloads(self):
+        with build_evaluator(_square, shards=8) as ev:
+            assert ev.evaluate([1, 2]) == [1, 4]
+
+
+class TestResolveSchedule:
+    def test_known_schedules(self):
+        assert resolve_schedule("batched") == "batched"
+        assert resolve_schedule("async") == "async"
+
+    def test_unknown_schedule_raises(self):
+        with pytest.raises(SearchError):
+            resolve_schedule("steady-state")
+        with pytest.raises(SearchError):
+            build_evaluator(_square, schedule="steady-state")
+
+    def test_build_evaluator_classes(self):
+        assert isinstance(build_evaluator(_square), ParallelEvaluator)
+        assert isinstance(build_evaluator(_square, schedule="async"),
+                          AsyncEvaluator)
+
+
+# ---------------------------------------------------------------------------
+# Engine commit boundaries: partial tells in any order == one batched tell.
+# ---------------------------------------------------------------------------
+
+
+class TestPartialTell:
+    @pytest.mark.parametrize("engine_cls", [EvolutionEngine, RandomEngine])
+    def test_permuted_partial_tells_match_batched(self, engine_cls):
+        reference = engine_cls(4, seed=3)
+        candidates = reference.ask(6)
+        fitnesses = [3.0, 1.0, math.inf, 1.0, 2.0, 0.5]
+        reference.tell(candidates, fitnesses)
+
+        rng = ensure_rng(42)
+        for _ in range(10):
+            order = list(rng.permutation(len(candidates)))
+            engine = engine_cls(4, seed=3)
+            same = engine.ask(6)
+            for index in order:
+                engine.tell_partial([same[index]], [fitnesses[index]],
+                                    indices=[index])
+            assert engine.pending_tells == len(candidates)
+            engine.commit()
+            assert engine.generation == reference.generation == 1
+            if engine_cls is EvolutionEngine:
+                np.testing.assert_array_equal(engine.mean, reference.mean)
+                np.testing.assert_array_equal(engine.cov, reference.cov)
+
+    def test_all_infeasible_generation_advances_counter_once(self):
+        engine = EvolutionEngine(3, seed=0)
+        candidates = engine.ask(4)
+        mean_before = engine.mean.copy()
+        engine.tell(candidates, [math.inf] * 4)
+        assert engine.generation == 1
+        np.testing.assert_array_equal(engine.mean, mean_before)
+        engine.tell(candidates, [math.inf] * 4)
+        assert engine.generation == 2
+
+    def test_commit_without_tells_is_a_noop(self):
+        engine = EvolutionEngine(3, seed=0)
+        engine.commit()
+        assert engine.generation == 0
+
+    def test_partial_then_commit_is_one_generation(self):
+        engine = EvolutionEngine(3, seed=0)
+        candidates = engine.ask(4)
+        for index, candidate in enumerate(candidates):
+            engine.tell_partial([candidate], [float(index)], indices=[index])
+        engine.commit()
+        assert engine.generation == 1
+        assert engine.pending_tells == 0
+
+    def test_length_mismatches_raise(self):
+        engine = EvolutionEngine(2, seed=0)
+        with pytest.raises(SearchError):
+            engine.tell_partial([np.zeros(2)], [1.0, 2.0])
+        with pytest.raises(SearchError):
+            engine.tell_partial([np.zeros(2)], [1.0], indices=[0, 1])
+
+
+class TestQuantPairEngine:
+    def test_ask_tell_commit_evolve(self):
+        engine = QuantPairEngine(
+            space=OFAResNetSpace(), predictor=QuantizedAccuracyPredictor(),
+            accuracy_floor=0.0, population=4, rng=ensure_rng(0))
+        pairs = engine.ask()
+        assert len(pairs) == 4
+        assert engine.ask(2) == pairs[:2]
+        engine.tell_partial(pairs, [4.0, 3.0, 2.0, 1.0])
+        engine.commit()
+        assert engine.generation == 1
+        engine.evolve()
+        assert 2 <= len(engine.ask()) <= 4
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: all four search entry points, async+sharded vs serial.
+# ---------------------------------------------------------------------------
+
+_TINY_MAPPING = MappingSearchBudget(population=4, iterations=2)
+
+_TINY_NETWORK = Network(name="tiny", layers=(
+    ConvLayer(name="a", k=16, c=8, y=14, x=14, r=3, s=3),
+    ConvLayer(name="b", k=32, c=16, y=7, x=7, r=1, s=1),
+))
+
+
+class TestEntryPointDeterminism:
+    """``--schedule async`` must be bit-identical to the serial path."""
+
+    def test_search_accelerator(self):
+        budget = NAASBudget(accel_population=4, accel_iterations=2,
+                            mapping=_TINY_MAPPING)
+        kwargs = dict(budget=budget, seed=19)
+        serial = search_accelerator(
+            [_TINY_NETWORK], baseline_constraint("nvdla_256"), CostModel(),
+            **kwargs)
+        asynchronous = search_accelerator(
+            [_TINY_NETWORK], baseline_constraint("nvdla_256"), CostModel(),
+            workers=2, schedule="async", shards=2, **kwargs)
+        assert asynchronous == serial
+        assert asynchronous.history == serial.history
+
+    def test_search_architecture(self):
+        kwargs = dict(budget=NASBudget(population=4, iterations=2),
+                      mapping_budget=_TINY_MAPPING, seed=23)
+        serial = search_architecture(
+            baseline_preset("nvdla_256"), CostModel(), 0.70, **kwargs)
+        asynchronous = search_architecture(
+            baseline_preset("nvdla_256"), CostModel(), 0.70,
+            workers=2, schedule="async", shards=2, **kwargs)
+        assert asynchronous == serial
+
+    def test_search_joint(self):
+        budget = JointBudget(accel_population=3, accel_iterations=2,
+                             nas=NASBudget(population=4, iterations=2),
+                             mapping=_TINY_MAPPING)
+        serial = search_joint(baseline_constraint("nvdla_256"), CostModel(),
+                              0.70, budget=budget, seed=29)
+        asynchronous = search_joint(
+            baseline_constraint("nvdla_256"), CostModel(), 0.70,
+            budget=budget, seed=29, workers=2, schedule="async", shards=2)
+        assert asynchronous == serial
+
+    def test_search_quantized(self):
+        kwargs = dict(population=4, iterations=2,
+                      mapping_budget=_TINY_MAPPING, seed=31)
+        serial = search_quantized(
+            baseline_preset("nvdla_256"), CostModel(), 0.66, **kwargs)
+        asynchronous = search_quantized(
+            baseline_preset("nvdla_256"), CostModel(), 0.66,
+            workers=2, schedule="async", shards=2, **kwargs)
+        assert asynchronous == serial
+        assert asynchronous.history == serial.history
+
+    def test_async_sharded_with_disk_tier_matches_serial(self, tmp_path):
+        """Shards reducing into the persistent tier stay bit-identical,
+        cold and warm."""
+        budget = NAASBudget(accel_population=4, accel_iterations=2,
+                            mapping=_TINY_MAPPING)
+        common = dict(budget=budget, seed=37)
+        serial = search_accelerator(
+            [_TINY_NETWORK], baseline_constraint("nvdla_256"), CostModel(),
+            **common)
+        cache_dir = str(tmp_path / "tier")
+        cold = search_accelerator(
+            [_TINY_NETWORK], baseline_constraint("nvdla_256"), CostModel(),
+            workers=2, schedule="async", shards=2, cache_dir=cache_dir,
+            **common)
+        warm = search_accelerator(
+            [_TINY_NETWORK], baseline_constraint("nvdla_256"), CostModel(),
+            workers=2, schedule="async", shards=2, cache_dir=cache_dir,
+            **common)
+        assert cold == serial
+        assert warm == serial
+        assert warm.cache_stats.disk_hits > 0
