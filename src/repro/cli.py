@@ -14,6 +14,8 @@ Commands
 ``experiment``
     Run one of the paper's experiments (fig4..table4) and print its
     table and claim checklist.
+``cache``
+    Inspect a persistent evaluation-cache directory (``cache stats``).
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.accelerator.presets import (
@@ -34,6 +37,7 @@ from repro.experiments.config import get_profile
 from repro.mapping.builders import dataflow_preserving_mapping
 from repro.models import MODEL_BUILDERS, build_model
 from repro.search.accelerator_search import search_accelerator
+from repro.search.diskcache import directory_stats
 from repro.search.parallel import SCHEDULES
 from repro.utils.serialization import to_jsonable
 from repro.utils.tables import render_table
@@ -64,9 +68,12 @@ _shards_count = _bounded_int("--shards", 1)
 def _add_execution_args(parser: argparse.ArgumentParser) -> None:
     """The execution-model flags shared by ``search`` and ``experiment``.
 
-    Every combination of the four returns bit-identical search results;
-    they only trade wall-clock and cache traffic (see
-    :mod:`repro.search.parallel`).
+    Every batched/async combination of the four returns bit-identical
+    search results; they only trade wall-clock and cache traffic. The
+    ``steady`` schedule is the explicit opt-out: it trades bit-identity
+    for barrier-free utilization (see :mod:`repro.search.parallel`) and
+    is incompatible with ``--shards`` (validated by
+    :func:`_validate_execution_args`).
     """
     parser.add_argument("--workers", type=_workers_count, default=1,
                         help="parallel evaluation processes; 0 means "
@@ -79,7 +86,11 @@ def _add_execution_args(parser: argparse.ArgumentParser) -> None:
                              "refills worker slots the moment they "
                              "free up, which wins when per-candidate "
                              "cost is skewed (results are identical "
-                             "either way)")
+                             "either way); 'steady' (opt-in) drops "
+                             "generation barriers entirely and tells "
+                             "results as they land — highest "
+                             "utilization, but results are no longer "
+                             "bit-identical across worker counts")
     parser.add_argument("--shards", type=_shards_count, default=1,
                         help="split each generation across this many "
                              "logical shards, each evaluating its "
@@ -92,6 +103,17 @@ def _add_execution_args(parser: argparse.ArgumentParser) -> None:
                              "processes; a repeated run with the same "
                              "seed reuses every mapping-search result "
                              "and returns bit-identical designs")
+
+
+def _validate_execution_args(parser: argparse.ArgumentParser,
+                             args: argparse.Namespace) -> None:
+    """Cross-flag validation argparse cannot express declaratively."""
+    if (getattr(args, "schedule", None) == "steady"
+            and getattr(args, "shards", 1) > 1):
+        parser.error(
+            "--schedule steady is incompatible with --shards > 1: "
+            "population sharding assumes generation boundaries, which "
+            "steady-state evaluation removes")
 
 
 def _cmd_models(_args: argparse.Namespace) -> int:
@@ -129,7 +151,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     preset = baseline_preset(args.preset)
     network = build_model(args.model, batch=args.batch)
     cost = cost_model.evaluate_network(
-        network, preset, lambda l: dataflow_preserving_mapping(l, preset))
+        network, preset,
+        lambda layer: dataflow_preserving_mapping(layer, preset))
     if not cost.valid:
         bad = [(c.layer_name, c.reasons) for c in cost.layer_costs
                if not c.valid]
@@ -155,7 +178,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
     preset = baseline_preset(args.preset)
     network = build_model(args.model)
     baseline = cost_model.evaluate_network(
-        network, preset, lambda l: dataflow_preserving_mapping(l, preset))
+        network, preset,
+        lambda layer: dataflow_preserving_mapping(layer, preset))
 
     result = search_accelerator(
         [network], baseline_constraint(args.preset), cost_model,
@@ -200,6 +224,22 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0 if result.all_claims_hold else 1
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.action != "stats":  # pragma: no cover - argparse enforces
+        raise AssertionError(args.action)
+    directory = Path(args.cache_dir)
+    if not directory.is_dir():
+        print(f"no cache directory at {directory}", file=sys.stderr)
+        return 1
+    stats = directory_stats(directory)
+    print(f"cache dir          : {directory}")
+    print(f"shards             : {stats.shards}")
+    print(f"records            : {stats.records}")
+    print(f"total bytes        : {stats.total_bytes}")
+    print(f"corrupt-tail skips : {stats.corrupt_tails}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -232,17 +272,28 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=0)
     _add_execution_args(experiment)
 
+    cache = sub.add_parser("cache",
+                           help="inspect a persistent evaluation cache")
+    cache.add_argument("action", choices=["stats"],
+                       help="'stats': shard/record/byte counts and "
+                            "corrupt-tail skips for a cache directory")
+    cache.add_argument("--cache-dir", required=True,
+                       help="the cache directory to inspect")
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _validate_execution_args(parser, args)
     handlers = {
         "models": _cmd_models,
         "presets": _cmd_presets,
         "evaluate": _cmd_evaluate,
         "search": _cmd_search,
         "experiment": _cmd_experiment,
+        "cache": _cmd_cache,
     }
     return handlers[args.command](args)
 

@@ -37,7 +37,6 @@ from repro.encoding.importance import importance_for_order, select_parallel_dims
 from repro.encoding.index import (
     decode_parallel_scalar,
     permutation_count,
-    scalar_to_index,
 )
 from repro.encoding.spaces import (
     ARRAY_STRIDE,

@@ -143,7 +143,7 @@ def run_cost_param_ablation(profile: str = "", seed: int = 0,
             preset = baseline_preset(name)
             cost = cost_model.evaluate_network(
                 network, preset,
-                lambda l: dataflow_preserving_mapping(l, preset))
+                lambda layer: dataflow_preserving_mapping(layer, preset))
             edps[name] = cost.edp
         return edps
 

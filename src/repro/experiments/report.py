@@ -15,7 +15,7 @@ import argparse
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import run_experiment
 from repro.experiments.runner import ExperimentResult
 
 #: Canonical presentation order (paper order).

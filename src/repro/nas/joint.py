@@ -10,7 +10,9 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.accelerator.arch import AcceleratorConfig
 from repro.accelerator.constraints import ResourceConstraint
@@ -29,10 +31,11 @@ from repro.search.parallel import (
     GenerationLoop,
     ask_generation,
     build_evaluator,
-    run_search_loop,
+    decode_with_resample,
+    drive_search,
 )
 from repro.search.result import IterationStats
-from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.rng import SeedLike, ensure_rng, seed_entropy
 
 
 @dataclasses.dataclass(frozen=True)
@@ -119,6 +122,47 @@ class _JointLoop(GenerationLoop):
         self._vectors: List = []
         self._configs: List[Optional[AcceleratorConfig]] = []
 
+        # Steady surface (run_steady_loop): equal total budget, windows
+        # sized to the population for comparable histories.
+        self.max_evaluations = budget.accel_population * budget.accel_iterations
+        self.stats_window = budget.accel_population
+        self._steady_members: Dict[int, Tuple[np.ndarray,
+                                              Optional[AcceleratorConfig]]] = {}
+
+    def configure_steady(self) -> None:
+        self.engine.configure_steady(self.population)
+
+    def ask_one(self, index: int) -> Optional[_JointTask]:
+        if index < len(self.injected):
+            vector = np.asarray(self.injected[index], dtype=float)
+        else:
+            vector = self.engine.ask_one()
+        vector, config = decode_with_resample(
+            self.engine, self.encoder, vector, name=f"joint-e{index}")
+        self._steady_members[index] = (vector, config)
+        if config is None:
+            return None
+        return _JointTask(
+            config=config, cost_model=self.cost_model,
+            accuracy_floor=self.accuracy_floor,
+            nas_budget=self.budget.nas,
+            mapping_budget=self.budget.mapping,
+            entropy=seed_entropy(self.rng),
+            predictor=self.predictor)
+
+    def tell_one(self, index: int, outcome: Optional[NASResult]) -> float:
+        vector, config = self._steady_members.pop(index)
+        fitness = math.inf
+        if outcome is not None:
+            self.hw_evals += 1
+            self.net_evals += outcome.evaluations
+            fitness = outcome.best_edp
+            if math.isfinite(fitness) and fitness < self.best_edp:
+                self.best_edp = fitness
+                self.best = (config, outcome)
+        self.engine.tell_one(vector, fitness)
+        return fitness
+
     def ask(self, iteration: int) -> List[Optional[_JointTask]]:
         self._vectors, self._configs, entropies = ask_generation(
             self.engine, self.encoder, self.population, iteration,
@@ -173,7 +217,9 @@ def search_joint(constraint: ResourceConstraint,
     whole inner NAS run is one work item, the coarsest (and therefore
     best-amortized) unit of the three-level search — and the one whose
     per-candidate cost is most skewed, which is where ``schedule="async"``
-    helps most. ``shards`` splits each generation across logical shards
+    helps most (and ``schedule="steady"`` even more, once stragglers
+    span generation boundaries — at the cost of bit-reproducibility).
+    ``shards`` splits each generation across logical shards
     with independent cache snapshots. ``cache_dir`` backs every inner
     NAS run with the shared persistent disk tier of
     :mod:`repro.search.diskcache` (workers read through to disk and
@@ -194,7 +240,7 @@ def search_joint(constraint: ResourceConstraint,
     with build_evaluator(_evaluate_joint_candidate, workers=workers,
                          cache=cache, schedule=schedule,
                          shards=shards) as evaluator:
-        history = run_search_loop(loop, evaluator)
+        history = drive_search(loop, evaluator)
 
     best = loop.best
     best_edp = loop.best_edp

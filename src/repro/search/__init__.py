@@ -8,10 +8,13 @@
   loop orders and tilings.
 - :mod:`repro.search.accelerator_search` — the outer loop (§II-A): the
   full NAAS hardware search with nested mapping search.
-- :mod:`repro.search.parallel` — the evaluation engines (batched and
-  asynchronous slot-refilling schedules, population sharding) and the
-  shared :func:`~repro.search.parallel.run_search_loop` generation
-  driver every outer search runs on.
+- :mod:`repro.search.parallel` — the evaluation engines (batched,
+  asynchronous slot-refilling, and opt-in barrier-free steady-state
+  schedules; population sharding for the first two), the shared
+  :func:`~repro.search.parallel.run_search_loop` /
+  :func:`~repro.search.parallel.run_steady_loop` drivers, and
+  :func:`~repro.search.parallel.drive_search`, which every outer search
+  dispatches through.
 """
 
 from repro.search.accelerator_search import NAASBudget, search_accelerator
@@ -25,10 +28,14 @@ from repro.search.parallel import (
     GenerationLoop,
     ParallelEvaluator,
     ShardPlan,
+    SteadyLoop,
+    SteadyStateEvaluator,
     build_evaluator,
+    drive_search,
     resolve_schedule,
     resolve_workers,
     run_search_loop,
+    run_steady_loop,
 )
 from repro.search.random_search import RandomEngine
 from repro.search.result import (
@@ -52,10 +59,14 @@ __all__ = [
     "RandomEngine",
     "SCHEDULES",
     "ShardPlan",
+    "SteadyLoop",
+    "SteadyStateEvaluator",
     "build_evaluator",
+    "drive_search",
     "resolve_schedule",
     "resolve_workers",
     "run_search_loop",
+    "run_steady_loop",
     "search_accelerator",
     "search_mapping",
 ]

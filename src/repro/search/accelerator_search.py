@@ -21,6 +21,8 @@ import dataclasses
 import math
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
 
+import numpy as np
+
 from repro.accelerator.arch import AcceleratorConfig
 from repro.accelerator.constraints import ResourceConstraint
 from repro.cost.model import CostModel
@@ -37,7 +39,8 @@ from repro.search.parallel import (
     GenerationLoop,
     ask_generation,
     build_evaluator,
-    run_search_loop,
+    decode_with_resample,
+    drive_search,
 )
 from repro.search.result import (
     AcceleratorSearchResult,
@@ -171,13 +174,20 @@ def _evaluate_candidate(task: _CandidateTask,
 
 
 class _AcceleratorLoop(GenerationLoop):
-    """Hardware-search generation loop for ``run_search_loop``.
+    """Hardware-search loop: generational and steady surfaces.
 
-    ``ask`` samples/decodes one generation (warm-start vectors override
-    the head of generation 0) and returns one :class:`_CandidateTask`
-    per decodable member; ``tell`` folds rewards back in submission
-    order — ties keep the earliest candidate, matching the serial loop —
-    and commits the generation to the engine at the commit boundary.
+    Generational (``run_search_loop``): ``ask`` samples/decodes one
+    generation (warm-start vectors override the head of generation 0)
+    and returns one :class:`_CandidateTask` per decodable member;
+    ``tell`` folds rewards back in submission order — ties keep the
+    earliest candidate, matching the serial loop — and commits the
+    generation to the engine at the commit boundary.
+
+    Steady (``run_steady_loop``): ``ask_one`` samples/decodes a single
+    candidate (warm-start vectors occupy the first slots) with a
+    per-slot entropy drawn at ask time, and ``tell_one`` feeds each
+    reward to the engine the moment it lands via
+    :meth:`~repro.search.es.PartialTellMixin.tell_one`.
     """
 
     def __init__(self, engine: Any, encoder: HardwareEncoder,
@@ -205,6 +215,51 @@ class _AcceleratorLoop(GenerationLoop):
         self.evaluations = 0
         self._vectors: List = []
         self._configs: List[Optional[AcceleratorConfig]] = []
+
+        # Steady surface (run_steady_loop): same total budget, counted
+        # in evaluations; stats windows stay population-sized so
+        # histories remain comparable with generational runs.
+        self.max_evaluations = budget.accel_population * budget.accel_iterations
+        self.stats_window = budget.accel_population
+        self._steady_members: Dict[int, Tuple[np.ndarray,
+                                              Optional[AcceleratorConfig]]] = {}
+
+    def configure_steady(self) -> None:
+        self.engine.configure_steady(self.population)
+
+    def ask_one(self, index: int) -> Optional[_CandidateTask]:
+        if index < len(self.injected):
+            vector = np.asarray(self.injected[index], dtype=float)
+        else:
+            vector = self.engine.ask_one()
+        vector, config = decode_with_resample(
+            self.engine, self.encoder, vector, name=f"naas-e{index}",
+            max_attempts=self.max_decode_attempts)
+        self._steady_members[index] = (vector, config)
+        if config is None:
+            return None
+        self.evaluations += 1
+        return _CandidateTask(
+            accel=config, networks=self.networks,
+            cost_model=self.cost_model,
+            mapping_budget=self.budget.mapping,
+            entropy=seed_entropy(self.rng),
+            mapping_style=self.mapping_style,
+            reward_fn=self.reward_fn)
+
+    def tell_one(self, index: int, outcome: Optional[Any]) -> float:
+        vector, config = self._steady_members.pop(index)
+        fitness = math.inf
+        if outcome is not None:
+            reward, costs, maps = outcome
+            fitness = reward
+            if math.isfinite(reward) and reward < self.best_reward:
+                self.best_reward = reward
+                self.best_config = config
+                self.best_costs = costs
+                self.best_maps = maps
+        self.engine.tell_one(vector, fitness)
+        return fitness
 
     def ask(self, iteration: int) -> List[Optional[_CandidateTask]]:
         self._vectors, self._configs, entropies = ask_generation(
@@ -267,9 +322,12 @@ def search_accelerator(networks: Sequence[Network],
     letting the search warm-start from (e.g.) the baseline preset.
     ``workers`` fans each generation's candidate evaluations out over
     that many processes (0 = all cores); ``schedule`` picks the batched
-    (chunk-per-worker) or async (slot-refilling) execution engine and
-    ``shards`` splits each generation across that many logical shards —
-    every combination returns the same result for the same seed.
+    (chunk-per-worker), async (slot-refilling) or steady (barrier-free,
+    tell-as-results-land) execution engine and ``shards`` splits each
+    generation across that many logical shards — batched and async
+    return the same result for the same seed at any worker/shard count,
+    while ``"steady"`` opts out of bit-identity for cross-generation
+    utilization (and rejects ``shards > 1``).
     ``cache_dir`` adds a persistent disk tier under the evaluation cache
     (shared across runs and concurrent processes; see
     :mod:`repro.search.diskcache`): a repeated run with the same seed
@@ -290,7 +348,7 @@ def search_accelerator(networks: Sequence[Network],
 
     with build_evaluator(_evaluate_candidate, workers=workers, cache=cache,
                          schedule=schedule, shards=shards) as evaluator:
-        history = run_search_loop(loop, evaluator)
+        history = drive_search(loop, evaluator)
 
     return AcceleratorSearchResult(
         best_config=loop.best_config,

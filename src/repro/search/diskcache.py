@@ -55,6 +55,7 @@ entries it computes to its own shard.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import os
 import pickle
@@ -93,6 +94,41 @@ def _shard_name() -> str:
     if _process_shard is None or _process_shard[0] != pid:
         _process_shard = (pid, os.urandom(4).hex())
     return f"shard-{pid}-{_process_shard[1]}.bin"
+
+
+def _next_record(handle) -> Tuple[str, Optional[Tuple[str, int]]]:
+    """Read one record at the handle's current offset.
+
+    The one reader both :meth:`DiskCacheStore._scan_shard` and
+    :func:`directory_stats` walk shards with, so what the store indexes
+    and what the stats report can never diverge. Returns
+    ``(status, entry)``:
+
+    - ``("ok", (digest, payload_length))`` — a clean record; the handle
+      is positioned just past its payload.
+    - ``("end", None)`` — exactly at end of file.
+    - ``("torn", None)`` — a truncated header or payload (a writer may
+      still be appending; safe to retry after it finishes).
+    - ``("corrupt", None)`` — bad magic or checksum; record boundaries
+      past this point cannot be resynchronized.
+    """
+    header = handle.read(_HEADER.size)
+    if not header:
+        return "end", None
+    if len(header) < _HEADER.size:
+        return "torn", None
+    magic, digest_raw, length, crc = _HEADER.unpack(header)
+    if magic != _MAGIC:
+        return "corrupt", None
+    payload = handle.read(length)
+    if len(payload) < length:
+        return "torn", None
+    if zlib.crc32(payload) != crc:
+        return "corrupt", None
+    # Digests are 32 hex chars; struct pads shorter (test-only) keys
+    # with NULs, stripped here.
+    digest = digest_raw.rstrip(b"\x00").decode("ascii", errors="replace")
+    return "ok", (digest, length)
 
 
 def content_digest(*parts: Any) -> str:
@@ -159,14 +195,10 @@ class DiskCacheStore:
             with open(shard, "rb") as handle:
                 handle.seek(offset)
                 while True:
-                    header = handle.read(_HEADER.size)
-                    if len(header) < _HEADER.size:
-                        break
-                    try:
-                        magic, digest_raw, length, crc = _HEADER.unpack(header)
-                    except struct.error:  # pragma: no cover - fixed size
-                        break
-                    if magic != _MAGIC:
+                    status, entry = _next_record(handle)
+                    if status in ("end", "torn"):
+                        break  # torn tail: retry once the writer finishes
+                    if status == "corrupt":
                         # Record boundaries cannot be resynchronized;
                         # mark the shard dead so refresh() stops
                         # rescanning (and re-warning about) it.
@@ -176,20 +208,7 @@ class DiskCacheStore:
                             "entries behind it are unreachable", shard,
                             offset)
                         break
-                    payload = handle.read(length)
-                    if len(payload) < length:
-                        break  # torn tail: retry once the writer finishes
-                    if zlib.crc32(payload) != crc:
-                        self._dead.add(path)
-                        logger.warning(
-                            "checksum mismatch in %s at offset %d; "
-                            "entries behind it are unreachable", shard,
-                            offset)
-                        break
-                    # Digests are 32 hex chars; struct pads shorter
-                    # (test-only) keys with NULs, stripped here.
-                    digest = digest_raw.rstrip(b"\x00").decode(
-                        "ascii", errors="replace")
+                    digest, length = entry
                     self._index.setdefault(
                         digest, (path, offset + _HEADER.size, length))
                     offset += _HEADER.size + length
@@ -378,6 +397,56 @@ class TieredEvaluationCache(EvaluationCache):
         self.store.refresh()
         return TieredEvaluationCache(store=self.store.clone(),
                                      max_entries=self.max_entries)
+
+
+@dataclasses.dataclass(frozen=True)
+class DiskCacheDirStats:
+    """What ``repro cache stats`` reports about a cache directory.
+
+    ``corrupt_tails`` counts shards whose scan stopped before the end
+    of the file — a torn record from a crashed (or still-running)
+    writer, or an actually corrupt record. The entries behind such a
+    tail are the ones :class:`DiskCacheStore` skips at read time.
+    """
+
+    shards: int
+    records: int
+    total_bytes: int
+    corrupt_tails: int
+
+
+def directory_stats(directory: Union[str, Path]) -> DiskCacheDirStats:
+    """Scan a cache directory without building a store (cheap, read-only).
+
+    Walks every shard's records exactly the way the store's reader
+    does — magic, length, crc — so the record count matches what a
+    store opened on the directory would index, and the corrupt-tail
+    count matches what it would skip.
+    """
+    path = Path(directory)
+    shards = records = total_bytes = corrupt_tails = 0
+    for shard in sorted(path.glob("shard-*.bin")):
+        try:
+            size = shard.stat().st_size
+        except OSError:
+            continue
+        shards += 1
+        total_bytes += size
+        try:
+            with open(shard, "rb") as handle:
+                while True:
+                    status, _entry = _next_record(handle)
+                    if status == "end":
+                        break
+                    if status != "ok":  # torn or corrupt tail
+                        corrupt_tails += 1
+                        break
+                    records += 1
+        except OSError:
+            corrupt_tails += 1
+    return DiskCacheDirStats(shards=shards, records=records,
+                             total_bytes=total_bytes,
+                             corrupt_tails=corrupt_tails)
 
 
 def build_cache(cache_dir: Union[str, Path, None] = None,

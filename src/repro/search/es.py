@@ -11,7 +11,7 @@ samples concentrate near them. A variance floor keeps exploration alive.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -78,6 +78,56 @@ class PartialTellMixin:
     def pending_tells(self) -> int:
         """How many partial results are buffered awaiting commit."""
         return len(self._pending_tells)
+
+    # ----- steady-state surface (ask_one / tell_one) -------------------
+
+    #: Steady-state update window; ``None`` until :meth:`configure_steady`.
+    _steady_window: Optional[int] = None
+
+    def configure_steady(self, window: int) -> None:
+        """Arm the steady-state surface with an update window.
+
+        ``window`` plays the role the population plays in generational
+        mode: every ``window`` results told through :meth:`tell_one`
+        form one pseudo-generation and are applied as a single
+        :meth:`update` (population-replacement rule). Candidates asked
+        while a window is filling still sample the *previous*
+        distribution — that is the steady-state trade: no barrier, so
+        the distribution a candidate came from depends on which results
+        had landed when it was asked.
+        """
+        if window < 1:
+            raise SearchError(f"steady window must be >= 1, got {window}")
+        self._steady_window = window
+        self._steady_buffer: List[Tuple[Any, float]] = []
+
+    def ask_one(self) -> Any:
+        """One candidate from the current distribution (steady ask)."""
+        return self.sample()
+
+    def tell_one(self, candidate: Any, fitness: float) -> None:
+        """Absorb one landed result (steady tell).
+
+        Buffers until the configured window fills, then applies the
+        window as one :meth:`update` and starts the next window. Results
+        are applied in the order they land — there is no submission-order
+        commit here, by design.
+        """
+        if self._steady_window is None:
+            raise SearchError(
+                "configure_steady() must be called before tell_one()")
+        self._steady_buffer.append((candidate, fitness))
+        if len(self._steady_buffer) >= self._steady_window:
+            buffered, self._steady_buffer = self._steady_buffer, []
+            self.update([candidate for candidate, _ in buffered],
+                        [fitness for _, fitness in buffered])
+
+    @property
+    def pending_steady_tells(self) -> int:
+        """Results buffered toward the current steady window."""
+        if self._steady_window is None:
+            return 0
+        return len(self._steady_buffer)
 
 
 class EvolutionEngine(PartialTellMixin):

@@ -23,11 +23,26 @@ those searches run on:
   hosts later — with a :class:`~repro.search.diskcache.TieredEvaluationCache`
   the disk store is the shared tier shards reduce into), and a reducer
   merges cache deltas and results back deterministically in shard order.
+- :class:`SteadyStateEvaluator` (``--schedule steady``) drops the
+  generation barrier entirely: a fixed-size pool of candidates stays in
+  flight, and the moment any result lands it is told to the search and a
+  replacement candidate is asked — DeepHyper-style steady-state
+  evaluation. This is the one schedule that **opts out of the
+  bit-identity contract** (see below): which candidate is asked next
+  depends on which result landed first, so utilization crosses
+  generation boundaries at the price of completion-order-dependent
+  trajectories. Convergence (same final reward to within tolerance at
+  equal evaluation budgets) is what its tests assert instead.
 - :func:`run_search_loop` is the one generation driver all four outer
   searches (accelerator, joint, NAS, quantization) share: ask a
   generation from a :class:`GenerationLoop`, dispatch the decodable
   members through an evaluator, stitch outcomes back to member slots in
   submission order, tell, record :class:`~repro.search.result.IterationStats`.
+- :func:`run_steady_loop` is the steady counterpart: it drives a
+  :class:`SteadyLoop` (``ask_one``/``tell_one``) through a
+  :class:`SteadyStateEvaluator`, reporting progress in **evaluation
+  counts** (windows of ``stats_window`` completions), not generations.
+  :func:`drive_search` picks the right driver for an evaluator.
 - Each worker task receives a :meth:`~repro.search.cache.EvaluationCache.snapshot`
   of the master cache taken at generation start; worker hit/miss
   counters and new entries are merged back at the commit boundary. With
@@ -59,6 +74,15 @@ results because the search loops uphold three invariants:
    generation has landed, so the engines
    (:class:`~repro.search.es.EvolutionEngine` via ``tell_partial`` /
    ``commit``) never observe completion order.
+
+The steady schedule keeps invariant 2 (content-derived sub-search
+seeds, so each individual evaluation is still a pure function of its
+payload) but deliberately gives up 1 and 3: candidates are asked one at
+a time from a distribution that has already absorbed whichever results
+happened to land first. ``workers=1`` steady runs are deterministic for
+a fixed seed; ``workers=N`` steady runs are not bit-reproducible, which
+is why the mode is opt-in and sharding (a generation-boundary concept)
+is rejected for it.
 
 Worker functions must be module-level (picklable by qualified name) and
 take ``(payload, cache)``, returning a picklable result.
@@ -95,8 +119,9 @@ WorkerFn = Callable[[Any, Optional[EvaluationCache]], Any]
 
 #: The evaluation schedules ``build_evaluator`` understands. ``batched``
 #: is the chunk-per-worker reference; ``async`` keeps worker slots full
-#: with per-candidate futures.
-SCHEDULES: Tuple[str, ...] = ("batched", "async")
+#: with per-candidate futures; ``steady`` (opt-in) drops generation
+#: barriers entirely and tells results as they land.
+SCHEDULES: Tuple[str, ...] = ("batched", "async", "steady")
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -513,9 +538,192 @@ class AsyncEvaluator(_EvaluatorBase):
         return done, still_pending
 
 
+class SteadyStateEvaluator(_EvaluatorBase):
+    """Steady-state schedule: no generation barriers at all.
+
+    A fixed-size pool of candidates (``workers`` of them, the
+    :attr:`capacity`) stays in flight; :meth:`submit` snapshots the cache
+    and dispatches one candidate, :meth:`collect` blocks for whichever
+    in-flight candidate finishes first, merges its cache delta
+    immediately, and hands the result back so the caller can tell it to
+    the search and submit a replacement. A straggler therefore never
+    idles the pool across what would have been a generation boundary —
+    the next "generation's" candidates are already running beside it.
+
+    The price is the bit-identity contract: the order results come back
+    feeds the order candidates are asked, so ``workers=N`` steady runs
+    are not reproducible across pool timings (``workers=1`` runs, which
+    evaluate inline in submission order, are). Sharding is refused —
+    a shard is a slice *of a generation*, and there are none here.
+
+    :meth:`evaluate` remains for callers with a single flat batch of
+    independent payloads (frontier sweeps, baseline tuning): submit all,
+    stream completions, return results in submission order — equivalent
+    to the async schedule for that shape of work.
+
+    Pool failures degrade exactly like the other schedules: futures that
+    completed cleanly keep their results, lost candidates re-evaluate
+    inline, and the evaluator continues serially.
+    """
+
+    def __init__(self, worker_fn: WorkerFn, workers: int = 1,
+                 cache: Optional[EvaluationCache] = None,
+                 shards: int = 1,
+                 executor_factory: Optional[Callable[[int], Any]] = None,
+                 ) -> None:
+        if shards != 1:
+            raise SearchError(
+                "schedule 'steady' is incompatible with shards > 1: "
+                "population sharding assumes generation boundaries, which "
+                f"steady-state evaluation removes (got shards={shards})")
+        super().__init__(worker_fn, workers=workers, cache=cache, shards=1,
+                         executor_factory=executor_factory)
+        #: How many candidates to keep in flight.
+        self.capacity = max(1, self.workers)
+        self._next_ticket = 0
+        self._payloads: Dict[int, Any] = {}
+        self._futures: Dict[int, Future] = {}
+        #: Landed but uncollected ``(results, delta)`` outcomes, FIFO.
+        self._ready: Dict[int, Tuple[List[Any], Optional[EvaluationCache]]] = {}
+        self._inline_queue: List[int] = []
+        #: Snapshot reused across submits until the master cache next
+        #: changes — without this, every single candidate would pay an
+        #: O(cache) copy on the coordinator (the batched/async schedules
+        #: amortize one snapshot per generation slice).
+        self._snapshot: Optional[EvaluationCache] = None
+
+    # ----- streaming API ------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Candidates submitted but not yet collected."""
+        return (len(self._futures) + len(self._ready)
+                + len(self._inline_queue))
+
+    def submit(self, payload: Any) -> int:
+        """Dispatch one candidate; returns its ticket for :meth:`collect`."""
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._payloads[ticket] = payload
+        if self.workers > 1:
+            executor = self._ensure_executor()
+            if executor is not None:
+                try:
+                    self._futures[ticket] = executor.submit(
+                        _run_chunk, self.worker_fn, [payload],
+                        self._current_snapshot())
+                    return ticket
+                except (OSError, BrokenProcessPool) as exc:
+                    self._handle_pool_failure(exc)
+        self._inline_queue.append(ticket)
+        return ticket
+
+    def _current_snapshot(self) -> Optional[EvaluationCache]:
+        """The cache view a submission ships; fresh as of the last merge.
+
+        Submitting pickles the snapshot's *current* state, so reusing
+        one object across submits is exactly equivalent to snapshotting
+        per submit — until the master cache changes, at which point
+        :meth:`collect` has dropped it and the next submit re-snapshots.
+        """
+        if self.cache is None:
+            return None
+        if self._snapshot is None:
+            self._snapshot = self.cache.snapshot()
+        return self._snapshot
+
+    def collect(self) -> Tuple[int, Any]:
+        """Block until any in-flight candidate lands; ``(ticket, result)``.
+
+        The candidate's cache delta is merged into the master cache
+        before the result is returned — there is no later commit
+        boundary to defer it to. Worker-raised exceptions propagate;
+        pool failures salvage completed futures and fall back to inline
+        evaluation.
+        """
+        while True:
+            if self._ready:
+                ticket = next(iter(self._ready))
+                results, delta = self._ready.pop(ticket)
+                if self.cache is not None and delta is not None:
+                    self.cache.merge(delta)
+                    self._snapshot = None  # master changed: re-snapshot
+                self._payloads.pop(ticket, None)
+                return ticket, results[0]
+            if self._futures:
+                self._land_any()
+                continue
+            if self._inline_queue:
+                ticket = self._inline_queue.pop(0)
+                payload = self._payloads.pop(ticket)
+                self._snapshot = None  # inline writes to the master cache
+                return ticket, self.worker_fn(payload, self.cache)
+            raise SearchError("collect() with no candidate in flight")
+
+    def _land_any(self) -> None:
+        """Wait for >= 1 in-flight future and move it to the ready set."""
+        ticket_of = {future: ticket
+                     for ticket, future in self._futures.items()}
+        done, _ = self._wait_any(set(ticket_of))
+        for future in done:
+            ticket = ticket_of[future]
+            del self._futures[ticket]
+            try:
+                self._ready[ticket] = future.result()
+            except (OSError, BrokenProcessPool) as exc:
+                # The candidate whose future carried the failure is lost
+                # work too: queue it for inline re-evaluation alongside
+                # whatever _handle_pool_failure cannot salvage.
+                self._inline_queue.append(ticket)
+                self._handle_pool_failure(exc)
+                return
+
+    def _wait_any(self, pending: set) -> Tuple[set, set]:
+        """Block until at least one pending future completes.
+
+        Overridable seam, mirroring :meth:`AsyncEvaluator._wait_any`:
+        tests replace it to script completion orders deterministically.
+        """
+        done, still_pending = wait(pending, return_when=FIRST_COMPLETED)
+        return done, still_pending
+
+    def _handle_pool_failure(self, failure: BaseException) -> None:
+        """Salvage clean completions, queue the rest inline, degrade."""
+        outstanding = dict(self._futures)
+        self._futures = {}
+        if outstanding:
+            wait(list(outstanding.values()), timeout=5.0)
+        salvaged = 0
+        for ticket, future in sorted(outstanding.items()):
+            if (future.done() and not future.cancelled()
+                    and future.exception() is None):
+                self._ready[ticket] = future.result()
+                salvaged += 1
+            else:
+                self._inline_queue.append(ticket)
+        logger.warning(
+            "worker pool failed (%s); salvaged %d in-flight steady "
+            "evaluations, re-evaluating %d inline", failure, salvaged,
+            len(outstanding) - salvaged)
+        self._degrade_to_inline()
+
+    # ----- batch compatibility -----------------------------------------
+
+    def evaluate(self, payloads: Sequence[Any]) -> List[Any]:
+        """Evaluate a flat batch, streaming; results in submission order."""
+        slots = {self.submit(payload): index
+                 for index, payload in enumerate(list(payloads))}
+        results: List[Any] = [None] * len(slots)
+        while slots:
+            ticket, result = self.collect()
+            results[slots.pop(ticket)] = result
+        return results
+
+
 _SCHEDULE_CLASSES = {
     "batched": ParallelEvaluator,
     "async": AsyncEvaluator,
+    "steady": SteadyStateEvaluator,
 }
 
 
@@ -525,11 +733,14 @@ def build_evaluator(worker_fn: WorkerFn, workers: int = 1,
                     shards: int = 1) -> _EvaluatorBase:
     """The evaluator a search run should use for its execution config.
 
-    ``schedule`` picks :class:`ParallelEvaluator` (``batched``) or
-    :class:`AsyncEvaluator` (``async``); ``shards`` layers a
-    :class:`ShardPlan` over either. All combinations return bit-identical
-    search results; they differ only in wall-clock and in how cache
-    state travels.
+    ``schedule`` picks :class:`ParallelEvaluator` (``batched``),
+    :class:`AsyncEvaluator` (``async``) or
+    :class:`SteadyStateEvaluator` (``steady``); ``shards`` layers a
+    :class:`ShardPlan` over the first two (``steady`` rejects sharding —
+    it has no generation boundaries to shard). The batched and async
+    schedules return bit-identical search results at any worker/shard
+    count; ``steady`` trades that contract for cross-boundary
+    utilization and promises convergence instead.
     """
     cls = _SCHEDULE_CLASSES[resolve_schedule(schedule)]
     return cls(worker_fn, workers=workers, cache=cache, shards=shards)
@@ -597,10 +808,140 @@ def run_search_loop(loop: GenerationLoop,
     return history
 
 
+class SteadyLoop:
+    """Protocol for :func:`run_steady_loop`: the barrier-free surface.
+
+    A steady loop hands out and absorbs candidates one at a time:
+
+    - ``ask_one(index)`` returns the payload for evaluation slot
+      ``index`` (a monotonically increasing evaluation counter), or
+      ``None`` for a slot that cannot be evaluated (no valid decode);
+      ``None`` slots are told back immediately without dispatching.
+    - ``tell_one(index, outcome)`` folds one landed outcome into the
+      loop's state — incremental engine ``tell_one``, best-so-far,
+      replacement breeding — and returns the slot's fitness. Outcomes
+      arrive in **completion order**, not submission order; that is the
+      point of the schedule.
+
+    ``max_evaluations`` bounds the run (the equal-budget analogue of
+    ``population x iterations``); ``stats_window`` sizes the
+    evaluation-count windows :class:`~repro.search.result.IterationStats`
+    are reported over (usually the population, so histories stay
+    comparable with the generational drivers).
+
+    The generational loops in this package implement both protocols on
+    one object; ``configure_steady()``, when present, arms the steady
+    surface before the first ``ask_one``.
+    """
+
+    max_evaluations: int
+    stats_window: int
+
+    def ask_one(self, index: int) -> Optional[Any]:
+        raise NotImplementedError
+
+    def tell_one(self, index: int, outcome: Optional[Any]) -> float:
+        raise NotImplementedError
+
+
+def run_steady_loop(loop: SteadyLoop,
+                    evaluator: SteadyStateEvaluator) -> List[IterationStats]:
+    """Drive a :class:`SteadyLoop` on a :class:`SteadyStateEvaluator`.
+
+    Keeps ``evaluator.capacity`` candidates in flight; the moment one
+    lands it is told to the loop and the freed slot is refilled — no
+    generation barriers. Progress is recorded as one
+    :class:`~repro.search.result.IterationStats` per ``stats_window``
+    completed evaluations (plus a final partial window), so histories
+    count evaluations, not generations.
+    """
+    history: List[IterationStats] = []
+    window: List[float] = []
+    window_size = max(1, int(loop.stats_window))
+    in_flight: Dict[int, int] = {}
+    next_index = 0
+
+    def record(fitness: float) -> None:
+        window.append(fitness)
+        if len(window) >= window_size:
+            flush()
+
+    def flush() -> None:
+        if window:
+            history.append(IterationStats.from_fitnesses(
+                len(history), tuple(window), len(window)))
+            window.clear()
+
+    def fill() -> None:
+        nonlocal next_index
+        while (next_index < loop.max_evaluations
+               and len(in_flight) < evaluator.capacity):
+            index = next_index
+            next_index += 1
+            payload = loop.ask_one(index)
+            if payload is None:
+                record(loop.tell_one(index, None))
+                continue
+            in_flight[evaluator.submit(payload)] = index
+
+    fill()
+    while in_flight:
+        ticket, outcome = evaluator.collect()
+        record(loop.tell_one(in_flight.pop(ticket), outcome))
+        fill()
+    flush()
+    return history
+
+
+def drive_search(loop: Any, evaluator: _EvaluatorBase) -> List[IterationStats]:
+    """Run a search loop on whichever driver matches the evaluator.
+
+    Generational evaluators (batched/async, sharded or not) drive the
+    :class:`GenerationLoop` surface through :func:`run_search_loop`; a
+    :class:`SteadyStateEvaluator` arms the loop's steady surface (via
+    ``configure_steady()`` when the loop defines one) and drives
+    :func:`run_steady_loop`. The four search entry points call this so
+    ``--schedule`` is a pure configuration choice.
+    """
+    if isinstance(evaluator, SteadyStateEvaluator):
+        configure = getattr(loop, "configure_steady", None)
+        if configure is not None:
+            configure()
+        return run_steady_loop(loop, evaluator)
+    return run_search_loop(loop, evaluator)
+
+
+#: Default re-sampling budget when a sampled vector fails to decode.
+DEFAULT_DECODE_ATTEMPTS = 32
+
+
+def decode_with_resample(engine: Any, encoder: Any, vector: np.ndarray,
+                         name: str,
+                         max_attempts: int = DEFAULT_DECODE_ATTEMPTS,
+                         ) -> Tuple[np.ndarray, Optional[Any]]:
+    """Decode ``vector``, re-sampling from ``engine`` on failure.
+
+    The one decode-retry policy every outer loop shares (generational
+    ask and steady ``ask_one`` alike): up to ``max_attempts`` tries,
+    each :class:`~repro.errors.EncodingError` replaced by a fresh
+    ``engine.sample()``. Returns ``(vector, config)`` — the vector that
+    finally decoded (or the last attempt), with ``config=None`` when no
+    attempt decoded.
+    """
+    config = None
+    for _ in range(max_attempts):
+        try:
+            config = encoder.decode(vector, name=name)
+            break
+        except EncodingError:
+            vector = engine.sample()
+    return vector, config
+
+
 def ask_generation(engine: Any, encoder: Any, population: int,
                    iteration: int, injected: Sequence[np.ndarray],
                    rng: np.random.Generator,
-                   max_decode_attempts: int = 32,
+                   max_decode_attempts: int = DEFAULT_DECODE_ATTEMPTS,
                    name_prefix: str = "naas",
                    ) -> Tuple[List[np.ndarray], List[Optional[Any]], List[int]]:
     """Ask phase of one batched generation, shared by both outer loops.
@@ -623,15 +964,10 @@ def ask_generation(engine: Any, encoder: Any, population: int,
         vectors = engine.ask(population)
     configs: List[Optional[Any]] = []
     for member in range(population):
-        vector = vectors[member]
-        config = None
-        for _ in range(max_decode_attempts):
-            try:
-                config = encoder.decode(
-                    vector, name=f"{name_prefix}-g{iteration}m{member}")
-                break
-            except EncodingError:
-                vector = engine.sample()
+        vector, config = decode_with_resample(
+            engine, encoder, vectors[member],
+            name=f"{name_prefix}-g{iteration}m{member}",
+            max_attempts=max_decode_attempts)
         vectors[member] = vector
         configs.append(config)
     entropies = [seed_entropy(member_rng)

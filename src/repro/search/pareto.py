@@ -121,10 +121,14 @@ def sweep_accuracy_frontier(accel: AcceleratorConfig,
     Runs the NAS loop once per accuracy floor; each run contributes its
     best point. The returned list is the non-dominated subset.
     ``workers`` fans the (independent) per-floor runs out in parallel;
-    per-floor seeds are batch-derived before any run starts, so any
-    worker count — and either ``schedule``, at any ``shards`` — returns
-    the same frontier. Per-floor wall-clock varies wildly with how
-    tight the floor is, so ``schedule="async"`` pays off here.
+    per-floor seeds are batch-derived before any run starts, so every
+    accepted worker/schedule/shards combination returns the same
+    frontier (each floor's result is a pure function of its pre-derived
+    entropy, so even the steady schedule, which gives up bit-identity
+    for the generational searches, is exact here — though it still
+    rejects ``shards > 1``, like everywhere else). Per-floor wall-clock
+    varies wildly with how tight the floor is, so ``schedule="async"``
+    or ``"steady"`` pays off here.
     ``cache_dir`` backs every floor's run with the shared persistent
     disk tier.
     """

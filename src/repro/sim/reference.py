@@ -24,7 +24,7 @@ from typing import Dict, List, Set, Tuple
 from repro.accelerator.arch import AcceleratorConfig
 from repro.errors import EvaluationError
 from repro.mapping.mapping import Mapping
-from repro.tensors.dims import DIM_INDEX, Dim
+from repro.tensors.dims import Dim
 from repro.tensors.layer import ConvLayer
 from repro.utils.mathutils import ceil_div
 

@@ -54,6 +54,42 @@ class TestParser:
              "--schedule", "async", "--shards", "3", "--workers", "2"])
         assert (args.schedule, args.shards, args.workers) == ("async", 3, 2)
 
+    def test_steady_schedule_accepted(self):
+        args = build_parser().parse_args(
+            ["search", "squeezenet", "shidiannao", "--schedule", "steady"])
+        assert (args.schedule, args.shards) == ("steady", 1)
+
+    @pytest.mark.parametrize("command", [
+        ["search", "squeezenet", "shidiannao"],
+        ["experiment", "fig4"],
+    ])
+    def test_steady_with_shards_rejected_end_to_end(self, command, capsys):
+        """`--schedule steady --shards K>1` must die in argparse, before
+        any search runs, for every entry point that takes the flags."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(command + ["--schedule", "steady", "--shards", "2"])
+        assert excinfo.value.code == 2  # argparse usage error
+        err = capsys.readouterr().err
+        assert "--schedule steady is incompatible with --shards > 1" in err
+        assert "generation boundaries" in err
+
+    @pytest.mark.parametrize("schedule", ["batched", "async", "steady"])
+    @pytest.mark.parametrize("command", [
+        ["search", "squeezenet", "shidiannao"],
+        ["experiment", "fig4"],
+    ])
+    def test_workers_validation_covers_all_schedules(self, schedule,
+                                                     command, capsys):
+        # 0 = one process per core: accepted everywhere
+        args = build_parser().parse_args(
+            command + ["--schedule", schedule, "--workers", "0"])
+        assert args.workers == 0 and args.schedule == schedule
+        # negatives: rejected at the argparse layer everywhere
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                command + ["--schedule", schedule, "--workers", "-1"])
+        assert "--workers must be >= 0" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_models_lists_zoo(self, capsys):
@@ -111,3 +147,45 @@ class TestCommands:
                             "--shards", "2"]) == 0
         asynchronous = capsys.readouterr().out
         assert asynchronous == batched
+
+    def test_search_steady_schedule_finds_a_design(self, capsys):
+        assert main(["search", "squeezenet", "shidiannao", "--seed", "0",
+                     "--schedule", "steady"]) == 0
+        out = capsys.readouterr().out
+        assert "EDP reduction" in out
+
+    def test_cache_stats_reports_store_contents(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["search", "squeezenet", "shidiannao", "--seed", "0",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        fields = {}
+        for line in out.splitlines():
+            key, _, value = line.partition(":")
+            fields[key.strip()] = value.strip()
+        assert int(fields["shards"]) >= 1
+        assert int(fields["records"]) > 0
+        assert int(fields["total bytes"]) > 0
+        assert fields["corrupt-tail skips"] == "0"
+
+    def test_cache_stats_counts_corrupt_tails(self, capsys, tmp_path):
+        from repro.search.diskcache import DiskCacheStore, content_digest
+
+        store = DiskCacheStore(tmp_path)
+        store.put(content_digest("a"), {"value": 1})
+        store.put(content_digest("b"), {"value": 2})
+        store.close()
+        shard = next(tmp_path.glob("shard-*.bin"))
+        with open(shard, "ab") as handle:
+            handle.write(b"torn-record")  # crashed-writer tail
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "records            : 2" in out
+        assert "corrupt-tail skips : 1" in out
+
+    def test_cache_stats_missing_directory_fails(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--cache-dir",
+                     str(tmp_path / "absent")]) == 1
+        assert "no cache directory" in capsys.readouterr().err

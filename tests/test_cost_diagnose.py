@@ -23,7 +23,8 @@ def diagnosis():
     accel = baseline_preset("nvdla_256")
     network = build_model("squeezenet")
     return diagnose_network(
-        network, accel, lambda l: dataflow_preserving_mapping(l, accel),
+        network, accel,
+        lambda layer: dataflow_preserving_mapping(layer, accel),
         cost_model)
 
 

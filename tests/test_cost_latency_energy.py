@@ -1,6 +1,5 @@
 """Focused unit tests for the latency and energy sub-models."""
 
-import dataclasses
 
 import pytest
 

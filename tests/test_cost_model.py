@@ -7,7 +7,7 @@ import pytest
 
 from repro.accelerator.arch import AcceleratorConfig
 from repro.cost.config import CostParams
-from repro.cost.model import CostModel, theoretical_peak_cycles
+from repro.cost.model import theoretical_peak_cycles
 from repro.mapping.builders import dataflow_preserving_mapping, untiled_mapping
 from repro.models import build_model
 from repro.tensors.dims import Dim
@@ -112,7 +112,7 @@ class TestNetworkEvaluation:
         net = Network(name="two", layers=(small_layer, pointwise_layer))
         cost = cost_model.evaluate_network(
             net, small_accel,
-            lambda l: dataflow_preserving_mapping(l, small_accel))
+            lambda layer: dataflow_preserving_mapping(layer, small_accel))
         assert cost.valid
         assert len(cost.layer_costs) == 2
         assert cost.total_cycles == sum(c.cycles for c in cost.layer_costs)
@@ -124,7 +124,7 @@ class TestNetworkEvaluation:
         net = Network(name="dup", layers=(small_layer, twin))
         cost = cost_model.evaluate_network(
             net, small_accel,
-            lambda l: dataflow_preserving_mapping(l, small_accel))
+            lambda layer: dataflow_preserving_mapping(layer, small_accel))
         assert cost.layer_costs[0].cycles == cost.layer_costs[1].cycles
 
     def test_explicit_mapping_table(self, cost_model, small_accel,
@@ -142,7 +142,8 @@ class TestNetworkEvaluation:
         for name in ("vgg16", "resnet50", "mobilenet_v2"):
             net = build_model(name)
             cost = cost_model.evaluate_network(
-                net, accel, lambda l: dataflow_preserving_mapping(l, accel))
+                net, accel,
+                lambda layer: dataflow_preserving_mapping(layer, accel))
             assert cost.valid, f"{name}: {[c.reasons for c in cost.layer_costs if not c.valid][:2]}"
         del accel_mapping
 

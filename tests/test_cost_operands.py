@@ -1,6 +1,5 @@
 """Tests for repro.cost.operands: relevance and footprint geometry."""
 
-import pytest
 
 from repro.cost.operands import (
     Operand,

@@ -1,6 +1,5 @@
 """Tests for the consolidated experiment report assembler."""
 
-from pathlib import Path
 
 import pytest
 

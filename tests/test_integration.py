@@ -42,7 +42,7 @@ class TestPaperHeadline:
         preset = baseline_preset("eyeriss")
         baseline = cost_model.evaluate_network(
             mobilenet, preset,
-            lambda l: dataflow_preserving_mapping(l, preset))
+            lambda layer: dataflow_preserving_mapping(layer, preset))
         result = search_accelerator(
             [mobilenet], baseline_constraint("eyeriss"), cost_model,
             budget=TINY, seed=0, seed_configs=[preset])
@@ -54,7 +54,7 @@ class TestPaperHeadline:
         preset = baseline_preset("eyeriss")
         heuristic = cost_model.evaluate_network(
             mobilenet, preset,
-            lambda l: dataflow_preserving_mapping(l, preset))
+            lambda layer: dataflow_preserving_mapping(layer, preset))
         reward, costs, _ = evaluate_accelerator(
             preset, [mobilenet], cost_model,
             MappingSearchBudget(population=6, iterations=4), seed=1)
@@ -97,7 +97,8 @@ class TestCrossModelConsistency:
         for model_name in ("mobilenet_v2", "squeezenet", "mnasnet"):
             net = build_model(model_name)
             cost = cost_model.evaluate_network(
-                net, preset, lambda l: dataflow_preserving_mapping(l, preset))
+                net, preset,
+                lambda layer: dataflow_preserving_mapping(layer, preset))
             assert cost.valid, (preset_name, model_name)
             assert math.isfinite(cost.edp)
 
@@ -106,7 +107,8 @@ class TestCrossModelConsistency:
         preset = baseline_preset("nvdla_256")
         net = build_model("squeezenet")
         cost = cost_model.evaluate_network(
-            net, preset, lambda l: dataflow_preserving_mapping(l, preset))
+            net, preset,
+            lambda layer: dataflow_preserving_mapping(layer, preset))
         assert cost.edp == pytest.approx(
             cost.total_cycles * cost.total_energy_nj)
 

@@ -52,7 +52,7 @@ class TestChannelWiring:
 
     def test_vgg_channels_chain(self):
         net = build_model("vgg16")
-        convs = [l for l in net if l.r == 3]
+        convs = [layer for layer in net if layer.r == 3]
         for prev, nxt in zip(convs, convs[1:]):
             # within VGG the next conv's input channels equal some
             # earlier conv's output channels
@@ -60,29 +60,29 @@ class TestChannelWiring:
 
     def test_mobilenet_block_structure(self):
         net = build_model("mobilenet_v2")
-        dws = [l for l in net if l.is_depthwise]
+        dws = [layer for layer in net if layer.is_depthwise]
         assert len(dws) == 17  # one per inverted-residual block
         for dw in dws:
             assert dw.r == dw.s == 3
 
     def test_mnasnet_has_5x5_kernels(self):
         net = build_model("mnasnet")
-        assert any(l.r == 5 for l in net if l.is_depthwise)
+        assert any(layer.r == 5 for layer in net if layer.is_depthwise)
 
     def test_resnet_has_projections(self):
         net = build_model("resnet50")
-        projections = [l for l in net if "branch1" in l.name]
+        projections = [layer for layer in net if "branch1" in layer.name]
         assert len(projections) == 4  # one per stage
 
     def test_unet_decoder_mirrors_encoder(self):
         net = build_model("unet")
-        enc = [l for l in net if l.name.startswith("enc")]
-        dec = [l for l in net if l.name.startswith("dec")]
+        enc = [layer for layer in net if layer.name.startswith("enc")]
+        dec = [layer for layer in net if layer.name.startswith("dec")]
         assert len(enc) == len(dec)
 
     def test_squeezenet_fire_modules(self):
         net = build_model("squeezenet")
-        squeezes = [l for l in net if "squeeze" in l.name]
+        squeezes = [layer for layer in net if "squeeze" in layer.name]
         assert len(squeezes) == 8
 
 
@@ -94,4 +94,4 @@ class TestBatchAndBits:
 
     def test_bits_propagate(self):
         net = build_model("squeezenet", bits=16)
-        assert all(l.bits == 16 for l in net)
+        assert all(layer.bits == 16 for layer in net)

@@ -63,7 +63,7 @@ class TestQuantizeSubnet:
     def test_stem_follows_stage1(self, space):
         arch = space.resnet50_like()
         network = quantize_subnet(arch, QuantPolicy(stage_bits=(4, 8, 8, 8)))
-        stem = next(l for l in network if l.name == "stem")
+        stem = next(layer for layer in network if layer.name == "stem")
         assert stem.bits == 4
 
     def test_structure_preserved(self, space):
@@ -83,7 +83,7 @@ class TestQuantizedCosts:
             network = quantize_subnet(arch, QuantPolicy.uniform(bits))
             cost = cost_model.evaluate_network(
                 network, accel,
-                lambda l: dataflow_preserving_mapping(l, accel))
+                lambda layer: dataflow_preserving_mapping(layer, accel))
             return cost.edp
 
         assert edp(4) < edp(8) < edp(16)
@@ -149,7 +149,8 @@ class TestQuantSearch:
         arch = space.resnet50_like()
         uniform = quantize_subnet(arch, QuantPolicy.uniform(8))
         uniform_cost = cost_model.evaluate_network(
-            uniform, accel, lambda l: dataflow_preserving_mapping(l, accel))
+            uniform, accel,
+            lambda layer: dataflow_preserving_mapping(layer, accel))
         result = search_quantized(
             accel, cost_model, accuracy_floor=72.0,
             population=6, iterations=3,

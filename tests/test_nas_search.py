@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.accelerator.presets import baseline_constraint, baseline_preset
 from repro.nas.accuracy import AccuracyPredictor

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ReproError
 from repro.nas.ofa_space import (
-    EXPAND_CHOICES,
     IMAGE_SIZES,
     MAX_BLOCKS_PER_STAGE,
     OFAResNetSpace,

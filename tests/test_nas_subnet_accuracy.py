@@ -45,7 +45,7 @@ class TestSubnet:
 
     def test_projection_on_first_block_only(self, space):
         net = build_subnet(space.resnet50_like())
-        projections = [l for l in net if l.name.endswith("_proj")]
+        projections = [layer for layer in net if layer.name.endswith("_proj")]
         assert len(projections) == 4
 
     def test_channels_multiple_of_8(self, space):

@@ -12,7 +12,7 @@ from repro.cost.model import CostModel
 from repro.cost.operands import Operand, total_elements
 from repro.mapping.mapping import Mapping
 from repro.sim.reference import ReferenceSimulator
-from repro.tensors.dims import SEARCHED_DIMS, Dim
+from repro.tensors.dims import SEARCHED_DIMS
 from repro.tensors.layer import ConvLayer
 
 SIM = ReferenceSimulator()

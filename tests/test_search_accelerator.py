@@ -48,7 +48,7 @@ class TestEvaluateAccelerator:
             seed=0)
         assert math.isfinite(reward)
         assert costs[tiny_network.name].valid
-        assert set(mappings) == {l.name for l in tiny_network}
+        assert set(mappings) == {layer.name for layer in tiny_network}
 
     def test_cache_reuses_results(self, tiny_network, cost_model):
         preset = baseline_preset("nvdla_256")

@@ -8,9 +8,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.accelerator.presets import baseline_constraint, baseline_preset
+from repro.accelerator.presets import baseline_preset
 from repro.cost.config import CostParams
-from repro.cost.model import CostModel
 from repro.search.accelerator_search import (
     NAASBudget,
     evaluate_accelerator,
@@ -19,7 +18,6 @@ from repro.search.accelerator_search import (
 from repro.search.cache import EvaluationCache
 from repro.search.diskcache import (
     DiskCacheStore,
-    TieredEvaluationCache,
     build_cache,
     content_digest,
 )

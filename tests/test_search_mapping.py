@@ -4,7 +4,6 @@ import math
 
 import pytest
 
-from repro.cost.model import CostModel
 from repro.encoding.spaces import EncodingStyle
 from repro.mapping.builders import dataflow_preserving_mapping
 from repro.search.mapping_search import MappingSearchBudget, search_mapping

@@ -10,7 +10,6 @@ import pytest
 from repro.accelerator.arch import AcceleratorConfig
 from repro.cost.model import CostModel
 from repro.errors import EvaluationError
-from repro.mapping.builders import dataflow_preserving_mapping
 from repro.mapping.mapping import Mapping
 from repro.sim.reference import ReferenceSimulator
 from repro.tensors.dims import SEARCHED_DIMS, Dim
@@ -45,12 +44,12 @@ LAYERS = [SMALL, DEPTHWISE, STRIDED, POINTWISE]
 
 
 class TestExactInvariants:
-    @pytest.mark.parametrize("layer", LAYERS, ids=lambda l: l.name)
+    @pytest.mark.parametrize("layer", LAYERS, ids=lambda layer: layer.name)
     def test_macs_exact(self, layer):
         counts = SIM.run(layer, _accel(), _mapping(layer))
         assert counts.macs == layer.macs
 
-    @pytest.mark.parametrize("layer", LAYERS, ids=lambda l: l.name)
+    @pytest.mark.parametrize("layer", LAYERS, ids=lambda layer: layer.name)
     def test_distinct_elements_exact(self, layer):
         counts = SIM.run(layer, _accel(), _mapping(layer))
         assert counts.distinct_weights == layer.weight_elements

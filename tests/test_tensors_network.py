@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import InvalidLayerError
-from repro.tensors.layer import ConvLayer, conv1x1
+from repro.tensors.layer import conv1x1
 from repro.tensors.network import Network, shape_key, unique_layers
 
 
@@ -19,7 +19,7 @@ class TestNetwork:
     def test_len_and_iter(self, small_layer):
         net = _net(small_layer, small_layer)
         assert len(net) == 2
-        assert all(l is small_layer for l in net)
+        assert all(layer is small_layer for layer in net)
 
     def test_total_macs(self, small_layer, pointwise_layer):
         net = _net(small_layer, pointwise_layer)
