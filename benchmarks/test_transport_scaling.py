@@ -1,0 +1,106 @@
+"""Bench: the TCP worker transport vs. the in-process pool.
+
+The same topology the ``distributed`` CI job gates on — two real
+``repro worker`` subprocesses dialing into a coordinator-bound
+:class:`~repro.search.transport.TcpTransport` — run as a benchmark:
+the NAAS hardware search executes once serially, once on the local
+two-worker pool, and once fanned out over TCP, asserting the
+bit-identity contract across all three and recording the wall-clocks
+to ``benchmarks/results/transport_scaling.txt``.
+
+On one machine the TCP path cannot beat the local pool (same cores,
+plus framing and pickling per job); what the benchmark bounds is the
+*overhead* of going through the wire, which is the quantity a multi-
+host deployment pays per host and the day-over-day number worth
+watching in the nightly artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.accelerator.presets import baseline_constraint
+from repro.cost.model import CostModel
+from repro.search.accelerator_search import NAASBudget, search_accelerator
+from repro.search.mapping_search import MappingSearchBudget
+from repro.search.transport import TcpTransport
+from repro.tensors.layer import ConvLayer
+from repro.tensors.network import Network
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BUDGET = NAASBudget(accel_population=8, accel_iterations=3,
+                    mapping=MappingSearchBudget(population=6, iterations=3))
+
+NETWORK = Network(name="bench", layers=(
+    ConvLayer(name="stem", k=32, c=16, y=28, x=28, r=3, s=3),
+    ConvLayer(name="mid", k=64, c=32, y=14, x=14, r=3, s=3),
+    ConvLayer(name="head", k=128, c=64, y=7, x=7, r=1, s=1),
+))
+
+
+def _search(**kwargs):
+    start = time.perf_counter()
+    result = search_accelerator(
+        [NETWORK], baseline_constraint("nvdla_256"), CostModel(),
+        budget=BUDGET, seed=0, schedule="async", **kwargs)
+    return result, time.perf_counter() - start
+
+
+def _spawn_workers(address: str, count: int, tmp_path: Path):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    workers = []
+    for index in range(count):
+        workers.append(subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker",
+             "--connect", address,
+             "--cache-dir", str(tmp_path / f"worker-{index}"),
+             "--retry", "60", "--heartbeat", "1"],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL))
+    return workers
+
+
+def test_tcp_transport_matches_local_with_bounded_overhead(tmp_path):
+    serial, serial_time = _search(workers=1)
+    local, local_time = _search(workers=2)
+
+    transport = TcpTransport(bind="127.0.0.1:0", connect_timeout=60.0)
+    address = f"{transport.address[0]}:{transport.address[1]}"
+    workers = _spawn_workers(address, count=2, tmp_path=tmp_path)
+    try:
+        assert transport.wait_for_workers(2, timeout=60.0) == 2
+        remote, remote_time = _search(workers=2, transport=transport)
+    finally:
+        transport.close()
+        for worker in workers:
+            try:
+                worker.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                worker.kill()
+
+    # The distributed-determinism contract: three execution substrates,
+    # one bit-identical result.
+    assert remote.best_reward == serial.best_reward == local.best_reward
+    assert remote.best_config == serial.best_config == local.best_config
+    assert remote.history == serial.history
+
+    overhead = remote_time / local_time if local_time else float("inf")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "transport_scaling.txt").write_text(
+        f"serial (workers=1)        : {serial_time:8.3f} s\n"
+        f"local pool (workers=2)    : {local_time:8.3f} s\n"
+        f"tcp, 2 worker processes   : {remote_time:8.3f} s\n"
+        f"tcp overhead vs local pool: {overhead:8.2f}x\n"
+        f"best reward               : {serial.best_reward:.6e}\n")
+    print(f"\nserial {serial_time:.3f}s  local {local_time:.3f}s  "
+          f"tcp {remote_time:.3f}s  overhead {overhead:.2f}x")
+
+    # Loose bound: framing + per-job pickling must not blow up the
+    # search wall-clock relative to the in-process pool on one host.
+    assert remote_time < max(local_time, serial_time) * 3.0

@@ -51,18 +51,21 @@ class AcceleratorConfig:
     name: str = "custom"
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "array_dims", tuple(int(d) for d in self.array_dims))
+        object.__setattr__(self, "array_dims",
+                           tuple(int(d) for d in self.array_dims))
         object.__setattr__(self, "parallel_dims", tuple(self.parallel_dims))
         if not 1 <= len(self.array_dims) <= 3:
             raise InvalidArchitectureError(
-                f"{self.name}: array must be 1-3 dimensional, got {self.array_dims}")
+                f"{self.name}: array must be 1-3 dimensional, "
+                f"got {self.array_dims}")
         if len(self.parallel_dims) != len(self.array_dims):
             raise InvalidArchitectureError(
                 f"{self.name}: {len(self.array_dims)} array axes need as many "
                 f"parallel dims, got {self.parallel_dims}")
         if any(size < 1 for size in self.array_dims):
             raise InvalidArchitectureError(
-                f"{self.name}: array axis sizes must be >= 1, got {self.array_dims}")
+                f"{self.name}: array axis sizes must be >= 1, "
+                f"got {self.array_dims}")
         seen = set()
         for dim in self.parallel_dims:
             if not isinstance(dim, Dim) or dim not in SEARCHED_DIMS:
@@ -73,11 +76,13 @@ class AcceleratorConfig:
                 raise InvalidArchitectureError(
                     f"{self.name}: duplicate parallel dim {dim.name}")
             seen.add(dim)
-        for field, minimum in (("l1_bytes", 1), ("l2_bytes", 1), ("dram_bandwidth", 1)):
+        for field, minimum in (("l1_bytes", 1), ("l2_bytes", 1),
+                               ("dram_bandwidth", 1)):
             value = getattr(self, field)
             if not isinstance(value, int) or value < minimum:
                 raise InvalidArchitectureError(
-                    f"{self.name}: {field} must be an int >= {minimum}, got {value!r}")
+                    f"{self.name}: {field} must be an int >= {minimum}, "
+                    f"got {value!r}")
 
     # ----- derived quantities ------------------------------------------------
 
@@ -96,7 +101,7 @@ class AcceleratorConfig:
         return self.l2_bytes + self.num_pes * self.l1_bytes
 
     def axis_of(self, dim: Dim) -> int:
-        """Array-axis index parallelizing ``dim``; -1 if ``dim`` is temporal."""
+        """Array-axis index parallelizing ``dim``; -1 when temporal."""
         for axis, parallel in enumerate(self.parallel_dims):
             if parallel is dim:
                 return axis
@@ -113,4 +118,5 @@ class AcceleratorConfig:
         dataflow = "-".join(d.name for d in self.parallel_dims)
         return (f"{self.name}: {shape} array ({self.num_pes} PEs), "
                 f"{dataflow} parallel, L1 {self.l1_bytes} B, "
-                f"L2 {self.l2_bytes // 1024} KB, BW {self.dram_bandwidth} B/cyc")
+                f"L2 {self.l2_bytes // 1024} KB, "
+                f"BW {self.dram_bandwidth} B/cyc")

@@ -39,7 +39,8 @@ class ResourceConstraint:
                 f"#PEs {config.num_pes} > max {self.max_pes}")
         if config.onchip_bytes > self.max_onchip_bytes:
             problems.append(
-                f"on-chip {config.onchip_bytes} B > max {self.max_onchip_bytes} B")
+                f"on-chip {config.onchip_bytes} B > "
+                f"max {self.max_onchip_bytes} B")
         if config.dram_bandwidth > self.max_dram_bandwidth:
             problems.append(
                 f"bandwidth {config.dram_bandwidth} B/cyc > max "

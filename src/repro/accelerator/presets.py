@@ -77,7 +77,8 @@ BASELINE_PRESETS: Dict[str, AcceleratorConfig] = {
 #: Scenario pairing from §III-A(b): large models get big-resource
 #: baselines, mobile models get small-resource baselines.
 LARGE_MODEL_SCENARIOS: Tuple[str, ...] = ("edgetpu", "nvdla_1024")
-MOBILE_MODEL_SCENARIOS: Tuple[str, ...] = ("eyeriss", "nvdla_256", "shidiannao")
+MOBILE_MODEL_SCENARIOS: Tuple[str, ...] = ("eyeriss", "nvdla_256",
+                                           "shidiannao")
 
 
 def baseline_preset(name: str) -> AcceleratorConfig:
@@ -86,7 +87,8 @@ def baseline_preset(name: str) -> AcceleratorConfig:
         return BASELINE_PRESETS[name]
     except KeyError:
         known = ", ".join(sorted(BASELINE_PRESETS))
-        raise ReproError(f"unknown baseline {name!r}; known: {known}") from None
+        raise ReproError(
+            f"unknown baseline {name!r}; known: {known}") from None
 
 
 def baseline_constraint(name: str) -> ResourceConstraint:

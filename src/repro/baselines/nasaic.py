@@ -90,7 +90,8 @@ class HeterogeneousDesign:
             dispatch[layer.name] = best_ip
             total_cycles += best.cycles * count
             total_energy += best.energy_nj * count
-        return total_cycles, total_energy, total_cycles * total_energy, dispatch
+        return (total_cycles, total_energy,
+                total_cycles * total_energy, dispatch)
 
 
 @dataclasses.dataclass(frozen=True)

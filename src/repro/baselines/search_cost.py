@@ -58,14 +58,16 @@ class SearchCostReport:
 
 def nasaic_cost(num_scenarios: int) -> SearchCostReport:
     """NASAIC: every candidate trained from scratch, per scenario."""
-    co_search = NASAIC_CANDIDATES * NASAIC_TRAIN_GDS_PER_CANDIDATE * num_scenarios
+    co_search = (NASAIC_CANDIDATES * NASAIC_TRAIN_GDS_PER_CANDIDATE
+                 * num_scenarios)
     return SearchCostReport("NASAIC", co_search,
                             NASAIC_RETRAIN_GDS * num_scenarios)
 
 
 def nhas_cost(num_scenarios: int) -> SearchCostReport:
     """NHAS: decoupled search, but retrains per deployment."""
-    co_search = NHAS_BASE_SEARCH_GDS + NHAS_SEARCH_GDS_PER_SCENARIO * num_scenarios
+    co_search = (NHAS_BASE_SEARCH_GDS
+                 + NHAS_SEARCH_GDS_PER_SCENARIO * num_scenarios)
     return SearchCostReport("NHAS", co_search,
                             NHAS_RETRAIN_GDS * num_scenarios)
 

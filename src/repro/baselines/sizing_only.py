@@ -71,12 +71,14 @@ class SizingOnlyEncoder:
         if l2_hi < MIN_L2_BYTES:
             raise EncodingError("no L2 budget for this PE count")
         l2 = MIN_L2_BYTES + int(
-            float(vec[2]) * (l2_hi - MIN_L2_BYTES) // BUFFER_STRIDE) * BUFFER_STRIDE
+            float(vec[2])
+            * (l2_hi - MIN_L2_BYTES) // BUFFER_STRIDE) * BUFFER_STRIDE
         l1_hi = (onchip - l2) // num_pes
         if l1_hi < MIN_L1_BYTES:
             raise EncodingError("no L1 budget left")
         l1 = MIN_L1_BYTES + int(
-            float(vec[1]) * (l1_hi - MIN_L1_BYTES) // BUFFER_STRIDE) * BUFFER_STRIDE
+            float(vec[1])
+            * (l1_hi - MIN_L1_BYTES) // BUFFER_STRIDE) * BUFFER_STRIDE
         bandwidth = max(1, int(round(
             1 + float(vec[3]) * (self.constraint.max_dram_bandwidth - 1))))
 
@@ -137,7 +139,8 @@ def search_sizing_only(networks: Sequence[Network],
             vector = engine.sample()
             vectors.append(vector)
             try:
-                config = encoder.decode(vector, name=f"sizing-g{iteration}m{member}")
+                config = encoder.decode(
+                    vector, name=f"sizing-g{iteration}m{member}")
             except EncodingError:
                 fitnesses.append(math.inf)
                 continue

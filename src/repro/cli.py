@@ -14,8 +14,16 @@ Commands
 ``experiment``
     Run one of the paper's experiments (fig4..table4) and print its
     table and claim checklist.
+``worker``
+    Serve evaluations to a coordinator over the TCP transport
+    (``repro worker --connect HOST:PORT``); pair with ``search``/
+    ``experiment`` runs started with ``--transport tcp``.
 ``cache``
-    Inspect a persistent evaluation-cache directory (``cache stats``).
+    Maintain a persistent evaluation-cache directory: ``cache stats``
+    reports shard/record/byte counts, ``cache compact`` rewrites live
+    records into one fresh shard (dropping duplicates and corrupt
+    tails), ``cache prune --older-than DAYS`` drops shards nothing has
+    appended to for that long.
 """
 
 from __future__ import annotations
@@ -37,8 +45,14 @@ from repro.experiments.config import get_profile
 from repro.mapping.builders import dataflow_preserving_mapping
 from repro.models import MODEL_BUILDERS, build_model
 from repro.search.accelerator_search import search_accelerator
-from repro.search.diskcache import directory_stats
+from repro.search.diskcache import (
+    compact_directory,
+    directory_stats,
+    prune_directory,
+)
+from repro.errors import TransportError
 from repro.search.parallel import SCHEDULES
+from repro.search.transport import TRANSPORTS, run_worker
 from repro.utils.serialization import to_jsonable
 from repro.utils.tables import render_table
 
@@ -60,9 +74,31 @@ def _bounded_int(flag: str, minimum: int, hint: str = ""):
 
 
 #: ``--workers``: non-negative int, 0 = one process per core.
-_workers_count = _bounded_int("--workers", 0, hint="use 0 to run on every core")
+_workers_count = _bounded_int("--workers", 0,
+                              hint="use 0 to run on every core")
 #: ``--shards``: positive int.
 _shards_count = _bounded_int("--shards", 1)
+
+
+def _positive_float(flag: str):
+    """argparse type factory: a strictly positive float."""
+    def parse(text: str) -> float:
+        try:
+            value = float(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"invalid {flag} value {text!r}: expected a number")
+        if value <= 0:
+            raise argparse.ArgumentTypeError(
+                f"{flag} must be > 0 (got {value:g})")
+        return value
+    return parse
+
+
+_eval_timeout_seconds = _positive_float("--eval-timeout")
+_retry_seconds = _positive_float("--retry")
+_heartbeat_seconds = _positive_float("--heartbeat")
+_older_than_days = _positive_float("--older-than")
 
 
 def _add_execution_args(parser: argparse.ArgumentParser) -> None:
@@ -103,6 +139,24 @@ def _add_execution_args(parser: argparse.ArgumentParser) -> None:
                              "processes; a repeated run with the same "
                              "seed reuses every mapping-search result "
                              "and returns bit-identical designs")
+    parser.add_argument("--transport", choices=TRANSPORTS, default="local",
+                        help="where dispatched evaluations run: 'local' "
+                             "(in-process worker pool, default) or "
+                             "'tcp' (bind --workers-addr and fan out "
+                             "to connected 'repro worker' processes; "
+                             "batched/async results stay bit-identical "
+                             "whichever host completes what)")
+    parser.add_argument("--workers-addr", default=None, metavar="HOST:PORT",
+                        help="with --transport tcp: the address this "
+                             "coordinator binds; point each "
+                             "'repro worker --connect' at it")
+    parser.add_argument("--eval-timeout", type=_eval_timeout_seconds,
+                        default=None, metavar="SECONDS",
+                        help="per dispatched evaluation: if nothing "
+                             "completes within this many seconds the "
+                             "stuck work is salvaged and re-evaluated "
+                             "inline, so a hung worker cannot stall "
+                             "the search (default: wait indefinitely)")
 
 
 def _validate_execution_args(parser: argparse.ArgumentParser,
@@ -114,6 +168,15 @@ def _validate_execution_args(parser: argparse.ArgumentParser,
             "--schedule steady is incompatible with --shards > 1: "
             "population sharding assumes generation boundaries, which "
             "steady-state evaluation removes")
+    if (getattr(args, "transport", "local") == "tcp"
+            and not getattr(args, "workers_addr", None)):
+        parser.error(
+            "--transport tcp needs --workers-addr HOST:PORT to bind "
+            "(workers connect to it with 'repro worker --connect')")
+    if (getattr(args, "workers_addr", None)
+            and getattr(args, "transport", "local") != "tcp"):
+        parser.error(
+            "--workers-addr is only meaningful with --transport tcp")
 
 
 def _cmd_models(_args: argparse.Namespace) -> int:
@@ -185,7 +248,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
         [network], baseline_constraint(args.preset), cost_model,
         budget=profile.naas, seed=args.seed, seed_configs=[preset],
         workers=args.workers, cache_dir=args.cache_dir,
-        schedule=args.schedule, shards=args.shards)
+        schedule=args.schedule, shards=args.shards,
+        transport=args.transport, workers_addr=args.workers_addr,
+        eval_timeout=args.eval_timeout)
     if not result.found:
         print("search found no valid design", file=sys.stderr)
         return 1
@@ -198,7 +263,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
         print(f"cache    : {stats.hit_rate:.1%} hits "
               f"({stats.hits} hits / {stats.misses} misses, "
               f"{stats.disk_hits} from disk)")
-    print(f"speedup        = {baseline.total_cycles / found.total_cycles:.2f}x")
+    speedup = baseline.total_cycles / found.total_cycles
+    print(f"speedup        = {speedup:.2f}x")
     print(f"energy saving  = "
           f"{baseline.total_energy_nj / found.total_energy_nj:.2f}x")
     print(f"EDP reduction  = {baseline.edp / found.edp:.2f}x")
@@ -219,25 +285,61 @@ def _cmd_search(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     result = run_experiment(args.name, profile=args.profile, seed=args.seed,
                             workers=args.workers, cache_dir=args.cache_dir,
-                            schedule=args.schedule, shards=args.shards)
+                            schedule=args.schedule, shards=args.shards,
+                            transport=args.transport,
+                            workers_addr=args.workers_addr,
+                            eval_timeout=args.eval_timeout)
     print(result.render())
     return 0 if result.all_claims_hold else 1
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    try:
+        stats = run_worker(args.connect, cache_dir=args.cache_dir,
+                           retry_for=args.retry,
+                           heartbeat_interval=args.heartbeat,
+                           install_signal_handlers=True)
+    except TransportError as exc:
+        print(f"worker error: {exc}", file=sys.stderr)
+        return 1
+    drained = " (drained)" if stats.drained else ""
+    print(f"worker exiting{drained}: {stats.jobs} jobs served, "
+          f"{stats.failures} failed")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
-    if args.action != "stats":  # pragma: no cover - argparse enforces
-        raise AssertionError(args.action)
     directory = Path(args.cache_dir)
     if not directory.is_dir():
         print(f"no cache directory at {directory}", file=sys.stderr)
         return 1
-    stats = directory_stats(directory)
-    print(f"cache dir          : {directory}")
-    print(f"shards             : {stats.shards}")
-    print(f"records            : {stats.records}")
-    print(f"total bytes        : {stats.total_bytes}")
-    print(f"corrupt-tail skips : {stats.corrupt_tails}")
-    return 0
+    if args.action == "stats":
+        stats = directory_stats(directory)
+        print(f"cache dir          : {directory}")
+        print(f"shards             : {stats.shards}")
+        print(f"records            : {stats.records}")
+        print(f"total bytes        : {stats.total_bytes}")
+        print(f"corrupt-tail skips : {stats.corrupt_tails}")
+        return 0
+    if args.action == "compact":
+        stats = compact_directory(directory)
+        print(f"cache dir          : {directory}")
+        print(f"shards             : {stats.shards_before} -> "
+              f"{stats.shards_after}")
+        print(f"records kept       : {stats.records_kept}")
+        print(f"duplicates dropped : {stats.duplicates_dropped}")
+        print(f"bytes              : {stats.bytes_before} -> "
+              f"{stats.bytes_after}")
+        return 0
+    if args.action == "prune":
+        stats = prune_directory(directory, args.older_than)
+        print(f"cache dir          : {directory}")
+        print(f"shards removed     : {stats.shards_removed} "
+              f"({stats.shards_kept} kept)")
+        print(f"records removed    : {stats.records_removed}")
+        print(f"bytes removed      : {stats.bytes_removed}")
+        return 0
+    raise AssertionError(args.action)  # pragma: no cover - argparse enforces
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -272,13 +374,44 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=0)
     _add_execution_args(experiment)
 
+    worker = sub.add_parser(
+        "worker",
+        help="serve evaluations to a '--transport tcp' coordinator")
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="the coordinator's --workers-addr")
+    worker.add_argument("--cache-dir", default=None,
+                        help="this worker's own persistent cache "
+                             "directory (per-host; evaluations read "
+                             "through to it and append what they "
+                             "compute)")
+    worker.add_argument("--retry", type=_retry_seconds, default=30.0,
+                        metavar="SECONDS",
+                        help="keep retrying the initial connection for "
+                             "this long, so workers and coordinator "
+                             "can start in any order (default 30)")
+    worker.add_argument("--heartbeat", type=_heartbeat_seconds, default=5.0,
+                        metavar="SECONDS",
+                        help="heartbeat interval; the coordinator "
+                             "reaps a worker silent for several "
+                             "intervals (default 5)")
+
     cache = sub.add_parser("cache",
-                           help="inspect a persistent evaluation cache")
-    cache.add_argument("action", choices=["stats"],
+                           help="inspect or maintain a persistent "
+                                "evaluation cache")
+    cache.add_argument("action", choices=["stats", "compact", "prune"],
                        help="'stats': shard/record/byte counts and "
-                            "corrupt-tail skips for a cache directory")
+                            "corrupt-tail skips; 'compact': rewrite "
+                            "live records into one fresh shard, "
+                            "dropping duplicates and corrupt tails; "
+                            "'prune': drop shards not appended to for "
+                            "--older-than days")
     cache.add_argument("--cache-dir", required=True,
-                       help="the cache directory to inspect")
+                       help="the cache directory to operate on")
+    cache.add_argument("--older-than", type=_older_than_days, default=None,
+                       metavar="DAYS",
+                       help="prune: drop shards whose last append is "
+                            "older than this many days (required for "
+                            "'prune', rejected otherwise)")
 
     return parser
 
@@ -287,12 +420,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     _validate_execution_args(parser, args)
+    if args.command == "cache":
+        if args.action == "prune" and args.older_than is None:
+            parser.error("cache prune requires --older-than DAYS")
+        if args.action != "prune" and args.older_than is not None:
+            parser.error(
+                f"--older-than only applies to 'prune', not {args.action!r}")
     handlers = {
         "models": _cmd_models,
         "presets": _cmd_presets,
         "evaluate": _cmd_evaluate,
         "search": _cmd_search,
         "experiment": _cmd_experiment,
+        "worker": _cmd_worker,
         "cache": _cmd_cache,
     }
     return handlers[args.command](args)

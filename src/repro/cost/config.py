@@ -60,15 +60,18 @@ class CostParams:
 
     def l1_pj(self, l1_bytes: int) -> float:
         """Per-byte L1 access energy for a given capacity."""
-        return self.l1_pj_per_byte * math.sqrt(max(1, l1_bytes) / self.l1_reference_bytes)
+        return self.l1_pj_per_byte * math.sqrt(
+            max(1, l1_bytes) / self.l1_reference_bytes)
 
     def l2_pj(self, l2_bytes: int) -> float:
         """Per-byte L2 access energy for a given capacity."""
-        return self.l2_pj_per_byte * math.sqrt(max(1, l2_bytes) / self.l2_reference_bytes)
+        return self.l2_pj_per_byte * math.sqrt(
+            max(1, l2_bytes) / self.l2_reference_bytes)
 
     def noc_pj(self, num_pes: int) -> float:
         """Per-byte NoC energy; wires lengthen with array radius."""
-        return self.noc_pj_per_byte * math.sqrt(max(1, num_pes) / self.noc_reference_pes)
+        return self.noc_pj_per_byte * math.sqrt(
+            max(1, num_pes) / self.noc_reference_pes)
 
     def static_pj_per_cycle(self, num_pes: int, onchip_bytes: int) -> float:
         """Leakage per cycle for the whole chip."""

@@ -44,7 +44,8 @@ class CostModel:
         latency = analyze_latency(accel, traffic, self.params)
         cycles = latency.cycles
         energy = analyze_energy(layer, accel, traffic, cycles, self.params)
-        utilization = layer.macs / max(1.0, latency.compute_cycles * accel.num_pes)
+        utilization = layer.macs / max(
+            1.0, latency.compute_cycles * accel.num_pes)
         return LayerCost(
             layer_name=layer.name,
             valid=True,

@@ -83,7 +83,8 @@ def relevance_masks(layer: ConvLayer) -> Dict[Operand, Tuple[bool, ...]]:
     return _MASKS[layer.groups > 1]
 
 
-def input_channels_covered(layer: ConvLayer, k_extent: int, c_extent: int) -> int:
+def input_channels_covered(layer: ConvLayer, k_extent: int,
+                           c_extent: int) -> int:
     """Distinct input channels touched by ``k_extent`` output channels and
     ``c_extent`` within-group channels."""
     if layer.groups == 1:
@@ -102,11 +103,13 @@ def footprint_elements_idx(layer: ConvLayer, operand: Operand,
     sizes = layer.sizes7
     if operand is Operand.WEIGHT:
         return (min(ext[IDX_K], sizes[IDX_K]) * min(ext[IDX_C], sizes[IDX_C])
-                * min(ext[IDX_R], sizes[IDX_R]) * min(ext[IDX_S], sizes[IDX_S]))
+                * min(ext[IDX_R], sizes[IDX_R])
+                * min(ext[IDX_S], sizes[IDX_S]))
     batch = min(ext[0], sizes[0])
     if operand is Operand.OUTPUT:
         return (batch * min(ext[IDX_K], sizes[IDX_K])
-                * min(ext[IDX_Y], sizes[IDX_Y]) * min(ext[IDX_X], sizes[IDX_X]))
+                * min(ext[IDX_Y], sizes[IDX_Y])
+                * min(ext[IDX_X], sizes[IDX_X]))
     rows = min(layer.input_y,
                (min(ext[IDX_Y], sizes[IDX_Y]) - 1) * layer.stride
                + min(ext[IDX_R], sizes[IDX_R]))
@@ -127,7 +130,8 @@ def footprint_elements(layer: ConvLayer, operand: Operand,
     return footprint_elements_idx(layer, operand, ext)
 
 
-def element_bytes(layer: ConvLayer, operand: Operand, psum_bytes: int) -> float:
+def element_bytes(layer: ConvLayer, operand: Operand,
+                  psum_bytes: int) -> float:
     """Storage bytes per element while the operand lives on-chip.
 
     Outputs are held at accumulator precision until written back.

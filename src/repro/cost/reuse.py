@@ -135,7 +135,8 @@ def analyze_reuse(layer: ConvLayer,
             ext = extents[op]
             old_value = ext[dim_idx]
             ext[dim_idx] = min(caps[dim_idx], old_value * trips)
-            new_footprint = footprint_elements_idx(layer, op, ext) * bytes_per[op]
+            new_footprint = (footprint_elements_idx(layer, op, ext)
+                             * bytes_per[op])
             if total - footprints[op] + new_footprint <= budget_bytes:
                 total += new_footprint - footprints[op]
                 footprints[op] = new_footprint

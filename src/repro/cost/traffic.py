@@ -91,11 +91,13 @@ def analyze_traffic(layer: ConvLayer, accel: AcceleratorConfig,
                                    l2_budget, psum)
     if not array_analysis.feasible:
         return TrafficReport(feasible=False,
-                             reasons=(f"L2 overflow: {array_analysis.reason}",))
+                             reasons=(
+                                 f"L2 overflow: {array_analysis.reason}",))
 
     dram_read = 0.0
     for op in (Operand.WEIGHT, Operand.INPUT):
-        deliveries = max(array_analysis.deliveries(op), total_elements(layer, op))
+        deliveries = max(array_analysis.deliveries(op),
+                         total_elements(layer, op))
         dram_read += deliveries * bpe
     out_deliveries = max(array_analysis.deliveries(Operand.OUTPUT),
                          total_elements(layer, Operand.OUTPUT))
@@ -112,7 +114,8 @@ def analyze_traffic(layer: ConvLayer, accel: AcceleratorConfig,
     for dim, eff in axis_eff:
         idx = DIM_INDEX[dim]
         mid_trips[idx] = ceil_div(tiles7[idx], eff)
-    pe_loops = [(DIM_INDEX[d], mid_trips[DIM_INDEX[d]]) for d in mapping.pe_order]
+    pe_loops = [(DIM_INDEX[d], mid_trips[DIM_INDEX[d]])
+                for d in mapping.pe_order]
     base_pe = [1] * 7
     pe_analysis = analyze_reuse(layer, pe_loops, base_pe, mid_trips,
                                 float(accel.l1_bytes), psum)

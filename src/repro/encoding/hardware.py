@@ -33,7 +33,10 @@ import numpy as np
 
 from repro.accelerator.arch import AcceleratorConfig
 from repro.accelerator.constraints import ResourceConstraint
-from repro.encoding.importance import importance_for_order, select_parallel_dims
+from repro.encoding.importance import (
+    importance_for_order,
+    select_parallel_dims,
+)
 from repro.encoding.index import (
     decode_parallel_scalar,
     permutation_count,
@@ -109,8 +112,9 @@ class HardwareEncoder:
 
         l1, l2 = self._decode_buffers(float(tail[0]), float(tail[1]),
                                       int(np.prod(array_dims)))
+        max_bandwidth = self.constraint.max_dram_bandwidth
         bandwidth = max(1, int(round(_lerp(float(tail[2]), 1,
-                                           self.constraint.max_dram_bandwidth))))
+                                           max_bandwidth))))
         config = AcceleratorConfig(
             array_dims=tuple(array_dims), parallel_dims=parallel,
             l1_bytes=l1, l2_bytes=l2, dram_bandwidth=bandwidth, name=name)
@@ -185,8 +189,10 @@ class HardwareEncoder:
 
         onchip = self.constraint.max_onchip_bytes
         l2_hi = max(MIN_L2_BYTES + 1, onchip - config.num_pes * MIN_L1_BYTES)
-        vec[tail + 1] = (config.l2_bytes - MIN_L2_BYTES) / (l2_hi - MIN_L2_BYTES)
-        l1_hi = max(MIN_L1_BYTES + 1, (onchip - config.l2_bytes) // config.num_pes)
+        vec[tail + 1] = ((config.l2_bytes - MIN_L2_BYTES)
+                         / (l2_hi - MIN_L2_BYTES))
+        l1_hi = max(MIN_L1_BYTES + 1,
+                    (onchip - config.l2_bytes) // config.num_pes)
         vec[tail] = (config.l1_bytes - MIN_L1_BYTES) / (l1_hi - MIN_L1_BYTES)
         span_bw = max(1, self.constraint.max_dram_bandwidth - 1)
         vec[tail + 2] = (config.dram_bandwidth - 1) / span_bw
@@ -196,7 +202,8 @@ class HardwareEncoder:
         from repro.encoding.index import nth_permutation
         total = permutation_count(len(SEARCHED_DIMS), ndims)
         for index in range(total):
-            if nth_permutation(SEARCHED_DIMS, ndims, index) == tuple(parallel_dims):
+            if (nth_permutation(SEARCHED_DIMS, ndims, index)
+                    == tuple(parallel_dims)):
                 return index
         raise EncodingError(f"cannot index parallel dims {parallel_dims}")
 

@@ -25,7 +25,8 @@ def ranked_dims(importance: Sequence[float]) -> Tuple[Dim, ...]:
     return tuple(SEARCHED_DIMS[i] for i in indexed)
 
 
-def select_parallel_dims(importance: Sequence[float], k: int) -> Tuple[Dim, ...]:
+def select_parallel_dims(importance: Sequence[float],
+                         k: int) -> Tuple[Dim, ...]:
     """First ``k`` dims by importance: the parallel dims of a k-D array."""
     if not 1 <= k <= len(SEARCHED_DIMS):
         raise EncodingError(f"cannot select {k} parallel dims")

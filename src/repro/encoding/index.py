@@ -22,7 +22,8 @@ def permutation_count(n: int, k: int) -> int:
     return math.factorial(n) // math.factorial(n - k)
 
 
-def nth_permutation(items: Sequence[Dim], k: int, index: int) -> Tuple[Dim, ...]:
+def nth_permutation(items: Sequence[Dim], k: int,
+                    index: int) -> Tuple[Dim, ...]:
     """The ``index``-th ordered selection of ``k`` items (factoradic order)."""
     total = permutation_count(len(items), k)
     if not 0 <= index < total:

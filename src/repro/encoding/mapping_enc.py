@@ -105,5 +105,6 @@ class MappingEncoder:
         for i, dim in enumerate(SEARCHED_DIMS):
             size = self.layer.dim_size(dim)
             vec[_NUM_DIMS + i] = mapping.tile(dim) / size
-        vec[2 * _NUM_DIMS:3 * _NUM_DIMS] = importance_for_order(mapping.pe_order)
+        vec[2 * _NUM_DIMS:3 * _NUM_DIMS] = importance_for_order(
+            mapping.pe_order)
         return np.clip(vec, 0.0, 1.0)

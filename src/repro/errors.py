@@ -38,3 +38,22 @@ class SearchError(ReproError):
 
 class EvaluationError(ReproError):
     """The cost model could not evaluate a (layer, accelerator, mapping)."""
+
+
+class TransportError(SearchError):
+    """A worker transport could not dispatch or complete an evaluation.
+
+    Evaluators treat these like pool failures: completed work is
+    salvaged and the remainder re-evaluates inline, so a search never
+    fails (or hangs) because its transport did.
+    """
+
+
+class EvaluationTimeout(TransportError):
+    """No in-flight evaluation completed within the configured timeout.
+
+    Raised internally by the evaluators' wait loops when
+    ``eval_timeout`` expires; routed through the same salvage/inline
+    path as a worker death, so a hung (but not dead) worker cannot
+    stall a search forever.
+    """

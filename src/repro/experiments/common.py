@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.accelerator.arch import AcceleratorConfig
 from repro.accelerator.presets import baseline_constraint, baseline_preset
@@ -15,6 +15,7 @@ from repro.search.cache import EvaluationCache
 from repro.search.diskcache import build_cache
 from repro.search.mapping_search import MappingSearchBudget
 from repro.search.parallel import build_evaluator
+from repro.search.transport import Transport
 from repro.tensors.network import Network
 from repro.utils.mathutils import geomean
 from repro.utils.rng import SeedLike, seed_entropy
@@ -68,6 +69,9 @@ def tuned_baseline_costs(preset_name: str,
                          cache_dir: Optional[str] = None,
                          schedule: str = "batched",
                          shards: int = 1,
+                         transport: Union[str, Transport, None] = "local",
+                         workers_addr: Optional[str] = None,
+                         eval_timeout: Optional[float] = None,
                          ) -> Dict[str, NetworkCost]:
     """Per-network cost of a baseline preset with *searched* mappings.
 
@@ -86,7 +90,9 @@ def tuned_baseline_costs(preset_name: str,
              for network in networks]
     with build_evaluator(_tune_network, workers=workers,
                          cache=build_cache(cache_dir), schedule=schedule,
-                         shards=shards) as evaluator:
+                         shards=shards, transport=transport,
+                         workers_addr=workers_addr,
+                         eval_timeout=eval_timeout) as evaluator:
         outcomes = evaluator.evaluate(tasks)
     return {network.name: cost
             for network, cost in zip(networks, outcomes) if cost is not None}
@@ -94,7 +100,8 @@ def tuned_baseline_costs(preset_name: str,
 
 def gain_rows(baseline: Dict[str, NetworkCost],
               searched: Dict[str, NetworkCost],
-              ) -> Tuple[List[Tuple[str, float, float, float]], float, float, float]:
+              ) -> Tuple[List[Tuple[str, float, float, float]],
+                         float, float, float]:
     """Per-network (name, speedup, energy saving, EDP reduction) + geomeans."""
     rows = []
     for name, base in baseline.items():

@@ -38,7 +38,8 @@ _PROFILES = {
     "quick": BudgetProfile(
         name="quick",
         naas=NAASBudget(accel_population=8, accel_iterations=5,
-                        mapping=MappingSearchBudget(population=6, iterations=4)),
+                        mapping=MappingSearchBudget(population=6,
+                                                    iterations=4)),
         mapping=MappingSearchBudget(population=8, iterations=5),
         nas=NASBudget(population=6, iterations=3),
         sizing_population=8,
@@ -48,7 +49,8 @@ _PROFILES = {
     "full": BudgetProfile(
         name="full",
         naas=NAASBudget(accel_population=16, accel_iterations=10,
-                        mapping=MappingSearchBudget(population=10, iterations=6)),
+                        mapping=MappingSearchBudget(population=10,
+                                                    iterations=6)),
         mapping=MappingSearchBudget(population=16, iterations=10),
         nas=NASBudget(population=12, iterations=6),
         sizing_population=16,
@@ -58,7 +60,8 @@ _PROFILES = {
     "paper": BudgetProfile(
         name="paper",
         naas=NAASBudget(accel_population=25, accel_iterations=15,
-                        mapping=MappingSearchBudget(population=20, iterations=12)),
+                        mapping=MappingSearchBudget(population=20,
+                                                    iterations=12)),
         mapping=MappingSearchBudget(population=25, iterations=15),
         nas=NASBudget(population=25, iterations=10),
         sizing_population=25,

@@ -13,7 +13,7 @@ Four points, as in the paper:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from repro.accelerator.presets import baseline_preset
 from repro.baselines.nhas import search_nhas
@@ -49,6 +49,9 @@ PAPER = {
 def run(profile: str = "", seed: int = 0, workers: int = 1,
         cache_dir: Optional[str] = None,
         schedule: str = "batched", shards: int = 1,
+        transport: Any = "local",
+        workers_addr: Optional[str] = None,
+        eval_timeout: Optional[float] = None,
         ) -> ExperimentResult:
     """Produce the four (accuracy, normalized EDP) points."""
     budgets = get_profile(profile)
@@ -81,7 +84,9 @@ def run(profile: str = "", seed: int = 0, workers: int = 1,
         accel_only = search_accelerator(
             [resnet], constraint, cost_model, budget=budgets.naas, seed=rng,
             seed_configs=[preset], workers=workers, cache_dir=cache_dir,
-            schedule=schedule, shards=shards)
+            schedule=schedule, shards=shards,
+            transport=transport, workers_addr=workers_addr,
+            eval_timeout=eval_timeout)
 
         # Point 4: full joint search.
         joint = search_joint(
@@ -92,7 +97,9 @@ def run(profile: str = "", seed: int = 0, workers: int = 1,
                 accel_iterations=max(2, budgets.naas.accel_iterations - 1),
                 nas=budgets.nas, mapping=budgets.naas.mapping),
             seed=rng, predictor=predictor, workers=workers,
-            cache_dir=cache_dir, schedule=schedule, shards=shards)
+            cache_dir=cache_dir, schedule=schedule, shards=shards,
+            transport=transport, workers_addr=workers_addr,
+            eval_timeout=eval_timeout)
 
     def normalized(edp: float) -> float:
         return edp / base_edp
@@ -129,7 +136,8 @@ def run(profile: str = "", seed: int = 0, workers: int = 1,
         rows=rows,
         claims=claims,
         details={
-            "joint_arch": joint.best_arch.describe() if joint.best_arch else None,
+            "joint_arch": (joint.best_arch.describe()
+                           if joint.best_arch else None),
             "joint_config": (joint.best_config.describe()
                              if joint.best_config else None),
             "accel_only_config": (accel_only.best_config.describe()

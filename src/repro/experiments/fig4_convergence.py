@@ -9,7 +9,7 @@ scenario.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Any, Optional
 
 from repro.cost.model import CostModel
 from repro.experiments.common import scenario_constraint
@@ -35,6 +35,9 @@ PAIRED_RUNS = 3
 def run(profile: str = "", seed: int = 0, workers: int = 1,
         cache_dir: Optional[str] = None,
         schedule: str = "batched", shards: int = 1,
+        transport: Any = "local",
+        workers_addr: Optional[str] = None,
+        eval_timeout: Optional[float] = None,
         ) -> ExperimentResult:
     """Run paired searches and tabulate per-iteration population means."""
     budgets = get_profile(profile)
@@ -56,12 +59,16 @@ def run(profile: str = "", seed: int = 0, workers: int = 1,
             naas_runs.append(search_accelerator(
                 [network], constraint, cost_model, budget=budget,
                 seed=run_seed, workers=workers, cache_dir=cache_dir,
-                schedule=schedule, shards=shards))
+                schedule=schedule, shards=shards,
+                transport=transport, workers_addr=workers_addr,
+                eval_timeout=eval_timeout))
             random_runs.append(search_accelerator(
                 [network], constraint, cost_model, budget=budget,
                 seed=run_seed, engine_cls=RandomEngine, workers=workers,
                 cache_dir=cache_dir,
-                schedule=schedule, shards=shards))
+                schedule=schedule, shards=shards,
+                transport=transport, workers_addr=workers_addr,
+                eval_timeout=eval_timeout))
 
     # The table shows the first pair's trajectories, normalized to the
     # random search's first-iteration mean (the paper plots normalized

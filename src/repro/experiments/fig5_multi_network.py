@@ -9,7 +9,7 @@ saving versus the baseline preset running with equally tuned mappings.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.cost.model import CostModel
 from repro.experiments.common import (
@@ -56,6 +56,9 @@ def run(profile: str = "", seed: int = 0,
         workers: int = 1,
         cache_dir: Optional[str] = None,
         schedule: str = "batched", shards: int = 1,
+        transport: Any = "local",
+        workers_addr: Optional[str] = None,
+        eval_timeout: Optional[float] = None,
         ) -> ExperimentResult:
     """Run every scenario and tabulate per-network and geomean gains."""
     budgets = get_profile(profile)
@@ -74,7 +77,9 @@ def run(profile: str = "", seed: int = 0,
                 budget=budgets.naas, seed=rng,
                 seed_configs=[baseline_preset(preset_name)],
                 workers=workers, cache_dir=cache_dir,
-                schedule=schedule, shards=shards)
+                schedule=schedule, shards=shards,
+                transport=transport, workers_addr=workers_addr,
+                eval_timeout=eval_timeout)
             per_net, geo_speed, geo_energy, geo_edp = gain_rows(
                 baseline, searched.network_costs)
             for name, speedup, energy_saving, edp_reduction in per_net:

@@ -10,7 +10,7 @@ complete grid.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cost.model import CostModel
 from repro.experiments.common import (
@@ -54,6 +54,9 @@ def run(profile: str = "", seed: int = 0,
         workers: int = 1,
         cache_dir: Optional[str] = None,
         schedule: str = "batched", shards: int = 1,
+        transport: Any = "local",
+        workers_addr: Optional[str] = None,
+        eval_timeout: Optional[float] = None,
         ) -> ExperimentResult:
     """Search per (scenario, network) pair; tabulate speedup / energy."""
     budgets = get_profile(profile)
@@ -73,7 +76,9 @@ def run(profile: str = "", seed: int = 0,
                 budget=budgets.naas, seed=rng,
                 seed_configs=[baseline_preset(preset_name)],
                 workers=workers, cache_dir=cache_dir,
-                schedule=schedule, shards=shards)
+                schedule=schedule, shards=shards,
+                transport=transport, workers_addr=workers_addr,
+                eval_timeout=eval_timeout)
             per_net, geo_speed, geo_energy, geo_edp = gain_rows(
                 baseline, searched.network_costs)
             _, speedup, energy_saving, edp_reduction = per_net[0]

@@ -10,7 +10,7 @@ three scenarios and report our searched designs next to the paper's.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 from repro.cost.model import CostModel
 from repro.experiments.common import scenario_constraint
@@ -35,6 +35,9 @@ CASES: Tuple[Tuple[str, str, str, str], ...] = (
 def run(profile: str = "", seed: int = 0, workers: int = 1,
         cache_dir: Optional[str] = None,
         schedule: str = "batched", shards: int = 1,
+        transport: Any = "local",
+        workers_addr: Optional[str] = None,
+        eval_timeout: Optional[float] = None,
         ) -> ExperimentResult:
     """Re-search the three showcase scenarios and describe the designs."""
     budgets = get_profile(profile)
@@ -53,7 +56,9 @@ def run(profile: str = "", seed: int = 0, workers: int = 1,
                 [network], constraint, cost_model, budget=budgets.naas,
                 seed=rng, seed_configs=[baseline_preset(preset_name)],
                 workers=workers, cache_dir=cache_dir,
-                schedule=schedule, shards=shards)
+                schedule=schedule, shards=shards,
+                transport=transport, workers_addr=workers_addr,
+                eval_timeout=eval_timeout)
             config = searched.best_config
             ours = config.describe() if config else "search failed"
             rows.append((label, f"{network_name} @ {preset_name}",

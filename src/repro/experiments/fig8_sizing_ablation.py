@@ -9,7 +9,7 @@ MobileNetV2 at EdgeTPU resources) and 2.61x/1.62x (NVDLA-1024).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.accelerator.presets import baseline_preset
 from repro.baselines.sizing_only import search_sizing_only
@@ -47,6 +47,9 @@ PAPER_SIZING: Dict[Tuple[str, str], float] = {
 def run(profile: str = "", seed: int = 0, workers: int = 1,
         cache_dir: Optional[str] = None,
         schedule: str = "batched", shards: int = 1,
+        transport: Any = "local",
+        workers_addr: Optional[str] = None,
+        eval_timeout: Optional[float] = None,
         ) -> ExperimentResult:
     """Run both search regimes on each case; tabulate EDP reductions."""
     budgets = get_profile(profile)
@@ -79,7 +82,9 @@ def run(profile: str = "", seed: int = 0, workers: int = 1,
                 [network], constraint, cost_model, budget=budgets.naas,
                 seed=rng, seed_configs=seeds, workers=workers,
                 cache_dir=cache_dir,
-                schedule=schedule, shards=shards)
+                schedule=schedule, shards=shards,
+                transport=transport, workers_addr=workers_addr,
+                eval_timeout=eval_timeout)
 
             sizing_reduction = base_edp / sizing.best_reward
             naas_reduction = base_edp / naas.best_reward

@@ -18,7 +18,7 @@ is reported in the table but not asserted.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 from repro.cost.model import CostModel
 from repro.encoding.spaces import EncodingStyle
@@ -68,6 +68,9 @@ def _ablation_budget(naas: NAASBudget) -> NAASBudget:
 def run(profile: str = "", seed: int = 0, workers: int = 1,
         cache_dir: Optional[str] = None,
         schedule: str = "batched", shards: int = 1,
+        transport: Any = "local",
+        workers_addr: Optional[str] = None,
+        eval_timeout: Optional[float] = None,
         ) -> ExperimentResult:
     """Search the same scenario under all four encoding combinations.
 
@@ -96,7 +99,9 @@ def run(profile: str = "", seed: int = 0, workers: int = 1,
                     mapping_style=mapping_style,
                     seed_configs=[baseline_preset(SCENARIO_PRESET)],
                     workers=workers, cache_dir=cache_dir,
-                    schedule=schedule, shards=shards)
+                    schedule=schedule, shards=shards,
+                    transport=transport, workers_addr=workers_addr,
+                    eval_timeout=eval_timeout)
                 samples[(hardware_style, mapping_style)].append(
                     base_edp / searched.best_reward)
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.errors import ReproError
 from repro.experiments import (
@@ -17,6 +17,7 @@ from repro.experiments import (
     table4_search_cost,
 )
 from repro.experiments.runner import ExperimentResult
+from repro.search.transport import Transport, resolve_transport
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig4": fig4_convergence.run,
@@ -35,7 +36,10 @@ def run_experiment(name: str, profile: str = "",
                    seed: int = 0, workers: int = 1,
                    cache_dir: Optional[str] = None,
                    schedule: str = "batched",
-                   shards: int = 1) -> ExperimentResult:
+                   shards: int = 1,
+                   transport: Any = "local",
+                   workers_addr: Optional[str] = None,
+                   eval_timeout: Optional[float] = None) -> ExperimentResult:
     """Run one experiment by id (``fig4`` ... ``table4``).
 
     ``workers`` fans candidate evaluations out per generation;
@@ -44,12 +48,34 @@ def run_experiment(name: str, profile: str = "",
     results are bit-identical across all combinations. ``cache_dir``
     persists mapping-search results across runs (see
     :mod:`repro.search.diskcache`), so re-running an experiment with the
-    same seed and profile reuses its evaluations.
+    same seed and profile reuses its evaluations. ``transport="tcp"``
+    binds ``workers_addr`` and runs the evaluations on connected
+    ``repro worker`` processes; ``eval_timeout`` bounds any one
+    dispatched evaluation before inline fallback (see
+    :mod:`repro.search.transport`).
     """
     try:
         runner = EXPERIMENTS[name]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
-        raise ReproError(f"unknown experiment {name!r}; known: {known}") from None
-    return runner(profile=profile, seed=seed, workers=workers,
-                  cache_dir=cache_dir, schedule=schedule, shards=shards)
+        raise ReproError(
+            f"unknown experiment {name!r}; known: {known}") from None
+    # One transport for the whole experiment: runners call several
+    # searches back to back, and each must reuse the same bound address
+    # and connected worker fleet rather than rebinding per search (the
+    # evaluators leave caller-owned transports open). Same ownership
+    # rule one level up: only a transport built HERE from a spec string
+    # is closed here — an instance handed in stays the caller's, so one
+    # fleet can serve several run_experiment calls back to back.
+    owns = not isinstance(transport, Transport)
+    transport_obj = resolve_transport(transport, workers_addr=workers_addr)
+    try:
+        return runner(profile=profile, seed=seed, workers=workers,
+                      cache_dir=cache_dir, schedule=schedule, shards=shards,
+                      transport=(transport_obj if transport_obj is not None
+                                 else transport),
+                      workers_addr=None,
+                      eval_timeout=eval_timeout)
+    finally:
+        if transport_obj is not None and owns:
+            transport_obj.close()

@@ -22,7 +22,8 @@ from repro.experiments.runner import ExperimentResult
 REPORT_ORDER = ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
                 "table3", "table4")
 
-DEFAULT_RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+DEFAULT_RESULTS_DIR = (Path(__file__).resolve().parents[3]
+                       / "benchmarks" / "results")
 
 
 def collect_recorded(results_dir: Optional[Path] = None) -> Dict[str, str]:

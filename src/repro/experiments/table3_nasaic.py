@@ -10,7 +10,7 @@ values, carried over as constants (hardware search does not alter them).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from repro.accelerator.constraints import ResourceConstraint
 from repro.baselines.nasaic import search_nasaic
@@ -43,6 +43,9 @@ PAPER_ROWS = (
 def run(profile: str = "", seed: int = 0, workers: int = 1,
         cache_dir: Optional[str] = None,
         schedule: str = "batched", shards: int = 1,
+        transport: Any = "local",
+        workers_addr: Optional[str] = None,
+        eval_timeout: Optional[float] = None,
         ) -> ExperimentResult:
     """Run both searches on the CIFAR net and compare latency/energy/EDP."""
     budgets = get_profile(profile)
@@ -55,7 +58,9 @@ def run(profile: str = "", seed: int = 0, workers: int = 1,
         naas = search_accelerator(
             [network], TABLE3_CONSTRAINT, cost_model, budget=budgets.naas,
             seed=rng, workers=workers, cache_dir=cache_dir,
-            schedule=schedule, shards=shards)
+            schedule=schedule, shards=shards,
+            transport=transport, workers_addr=workers_addr,
+            eval_timeout=eval_timeout)
 
     naas_cost = naas.network_costs[network.name]
     rows = [

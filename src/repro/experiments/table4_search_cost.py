@@ -9,7 +9,7 @@ claim is the >120x total-cost saving versus NASAIC.
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Any, Optional
 
 from repro.baselines.search_cost import (
     nasaic_cost,
@@ -33,6 +33,9 @@ NUM_SCENARIOS = 5
 def run(profile: str = "", seed: int = 0, workers: int = 1,
         cache_dir: Optional[str] = None,
         schedule: str = "batched", shards: int = 1,
+        transport: Any = "local",
+        workers_addr: Optional[str] = None,
+        eval_timeout: Optional[float] = None,
         ) -> ExperimentResult:
     """Tabulate published cost formulas plus this repro's measured cost."""
     budgets = get_profile(profile)
@@ -45,7 +48,9 @@ def run(profile: str = "", seed: int = 0, workers: int = 1,
         search_accelerator(
             [build_model("mobilenet_v2")], scenario_constraint("eyeriss"),
             cost_model, budget=budgets.naas, seed=rng, workers=workers,
-            cache_dir=cache_dir, schedule=schedule, shards=shards)
+            cache_dir=cache_dir, schedule=schedule, shards=shards,
+            transport=transport, workers_addr=workers_addr,
+            eval_timeout=eval_timeout)
         measured_seconds = time.perf_counter() - start
 
         reports = search_cost_table(

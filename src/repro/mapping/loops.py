@@ -16,13 +16,15 @@ def canonical_order() -> LoopOrder:
     return tuple(SEARCHED_DIMS)
 
 
-def validate_order(order: Sequence[Dim], context: str = "loop order") -> LoopOrder:
+def validate_order(order: Sequence[Dim],
+                   context: str = "loop order") -> LoopOrder:
     """Check that ``order`` is a permutation of the searched dims."""
     order = tuple(order)
     if sorted(d.name for d in order) != sorted(d.name for d in SEARCHED_DIMS):
         raise InvalidMappingError(
             f"{context} must be a permutation of "
-            f"{[d.name for d in SEARCHED_DIMS]}, got {[getattr(d, 'name', d) for d in order]}")
+            f"{[d.name for d in SEARCHED_DIMS]}, "
+            f"got {[getattr(d, 'name', d) for d in order]}")
     return order
 
 

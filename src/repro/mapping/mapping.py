@@ -33,7 +33,8 @@ class Mapping:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "array_order",
-                           validate_order(self.array_order, "array-level order"))
+                           validate_order(self.array_order,
+                                          "array-level order"))
         object.__setattr__(self, "pe_order",
                            validate_order(self.pe_order, "PE-level order"))
         tile_map = dict(self.tiles)

@@ -52,7 +52,8 @@ def full_tiles(layer: ConvLayer) -> Tiles:
     return {dim: layer.dim_size(dim) for dim in SEARCHED_DIMS}
 
 
-def tile_counts(layer: ConvLayer, tiles: TypingMapping[Dim, int]) -> Dict[Dim, int]:
+def tile_counts(layer: ConvLayer,
+                tiles: TypingMapping[Dim, int]) -> Dict[Dim, int]:
     """Outer-loop trip counts: how many tiles cover each dimension."""
     return {dim: ceil_div(layer.dim_size(dim), tiles[dim])
             for dim in SEARCHED_DIMS}

@@ -24,7 +24,8 @@ MNASNET_B1_CONFIG: Tuple[Tuple[int, int, int, int, int], ...] = (
 
 
 def mbconv(name: str, in_ch: int, out_ch: int, expansion: int, kernel: int,
-           out_size: int, stride: int, batch: int, bits: int) -> List[ConvLayer]:
+           out_size: int, stride: int, batch: int,
+           bits: int) -> List[ConvLayer]:
     """One MBConv block (expand -> depthwise kxk -> project)."""
     hidden = in_ch * expansion
     in_size = out_size * stride
@@ -50,7 +51,8 @@ def build_mnasnet(batch: int = 1, bits: int = 8) -> Network:
     in_channels = 16
     size = 112
     block_index = 0
-    for expansion, out_channels, repeats, first_stride, kernel in MNASNET_B1_CONFIG:
+    for (expansion, out_channels, repeats, first_stride,
+         kernel) in MNASNET_B1_CONFIG:
         for repeat in range(repeats):
             stride = first_stride if repeat == 0 else 1
             size = size // stride

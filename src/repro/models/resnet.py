@@ -13,7 +13,8 @@ from typing import List, Sequence, Tuple
 from repro.tensors.layer import ConvLayer, conv1x1, linear_as_conv
 from repro.tensors.network import Network
 
-#: (stage index, block count, bottleneck width, output spatial size, stride of first block)
+#: (stage index, block count, bottleneck width, output spatial size,
+#: stride of first block)
 RESNET50_STAGES: Tuple[Tuple[int, int, int, int, int], ...] = (
     (2, 3, 64, 56, 1),
     (3, 4, 128, 28, 2),
@@ -40,7 +41,8 @@ def bottleneck_layers(stage: int, block: int, in_channels: int, width: int,
                 y=out_size, x=out_size, n=batch, bits=bits),
     ]
     if block == 0:
-        # Projection shortcut matches channels (and stride) for the residual add.
+        # Projection shortcut matches channels (and stride) for the
+        # residual add.
         layers.append(conv1x1(f"{prefix}_branch1", out_channels, in_channels,
                               y=out_size, x=out_size, stride=stride,
                               n=batch, bits=bits))
@@ -49,7 +51,8 @@ def bottleneck_layers(stage: int, block: int, in_channels: int, width: int,
 
 
 def build_resnet50(batch: int = 1, bits: int = 8,
-                   stages: Sequence[Tuple[int, int, int, int, int]] = RESNET50_STAGES,
+                   stages: Sequence[
+                       Tuple[int, int, int, int, int]] = RESNET50_STAGES,
                    stem_channels: int = 64) -> Network:
     """ResNet-50 for 224x224 inputs.
 
@@ -65,7 +68,9 @@ def build_resnet50(batch: int = 1, bits: int = 8,
         for block in range(block_count):
             stride = first_stride if block == 0 else 1
             layers.extend(bottleneck_layers(
-                stage, block, in_channels, width, out_size, stride, batch, bits))
+                stage, block, in_channels, width, out_size, stride,
+                batch, bits))
             in_channels = width * EXPANSION
-    layers.append(linear_as_conv("fc1000", 1000, in_channels, n=batch, bits=bits))
+    layers.append(linear_as_conv("fc1000", 1000, in_channels, n=batch,
+                                 bits=bits))
     return Network(name="resnet50", layers=tuple(layers))

@@ -27,7 +27,8 @@ FIRE_CONFIG: Tuple[Tuple[str, int, int, int, int], ...] = (
 
 
 def fire_module(name: str, in_ch: int, squeeze: int, expand1: int,
-                expand3: int, size: int, batch: int, bits: int) -> List[ConvLayer]:
+                expand3: int, size: int, batch: int,
+                bits: int) -> List[ConvLayer]:
     """The three convs of a Fire module."""
     return [
         conv1x1(f"{name}_squeeze", squeeze, in_ch, y=size, x=size,

@@ -37,15 +37,18 @@ def build_model(name: str, batch: int = 1, bits: int = 8) -> Network:
         builder = MODEL_BUILDERS[name]
     except KeyError:
         known = ", ".join(sorted(MODEL_BUILDERS))
-        raise ReproError(f"unknown model {name!r}; known models: {known}") from None
+        raise ReproError(
+            f"unknown model {name!r}; known models: {known}") from None
     return builder(batch=batch, bits=bits)
 
 
 def large_benchmark_set(batch: int = 1, bits: int = 8) -> List[Network]:
     """VGG16 + ResNet50 + UNet (paper's large-model deployment set)."""
-    return [build_model(name, batch=batch, bits=bits) for name in LARGE_BENCHMARKS]
+    return [build_model(name, batch=batch, bits=bits)
+            for name in LARGE_BENCHMARKS]
 
 
 def mobile_benchmark_set(batch: int = 1, bits: int = 8) -> List[Network]:
     """MobileNetV2 + SqueezeNet + MnasNet (paper's mobile deployment set)."""
-    return [build_model(name, batch=batch, bits=bits) for name in MOBILE_BENCHMARKS]
+    return [build_model(name, batch=batch, bits=bits)
+            for name in MOBILE_BENCHMARKS]

@@ -51,7 +51,8 @@ class AccuracyPredictor:
         # Soft saturation toward the ceiling: gains shrink near the top.
         if raw > _ANCHOR_ACC:
             headroom = _CEIL - _ANCHOR_ACC
-            raw = _ANCHOR_ACC + headroom * math.tanh((raw - _ANCHOR_ACC) / headroom)
+            raw = _ANCHOR_ACC + headroom * math.tanh(
+                (raw - _ANCHOR_ACC) / headroom)
         return min(_CEIL, max(_FLOOR, raw))
 
     def _jitter(self, arch: ResNetArch) -> float:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -35,6 +35,7 @@ from repro.search.parallel import (
     drive_search,
 )
 from repro.search.result import IterationStats
+from repro.search.transport import Transport
 from repro.utils.rng import SeedLike, ensure_rng, seed_entropy
 
 
@@ -124,10 +125,12 @@ class _JointLoop(GenerationLoop):
 
         # Steady surface (run_steady_loop): equal total budget, windows
         # sized to the population for comparable histories.
-        self.max_evaluations = budget.accel_population * budget.accel_iterations
+        self.max_evaluations = (budget.accel_population
+                                * budget.accel_iterations)
         self.stats_window = budget.accel_population
         self._steady_members: Dict[int, Tuple[np.ndarray,
-                                              Optional[AcceleratorConfig]]] = {}
+                                              Optional[
+                                                  AcceleratorConfig]]] = {}
 
     def configure_steady(self) -> None:
         self.engine.configure_steady(self.population)
@@ -210,6 +213,9 @@ def search_joint(constraint: ResourceConstraint,
                  cache_dir: Optional[str] = None,
                  schedule: str = "batched",
                  shards: int = 1,
+                 transport: Union[str, Transport, None] = "local",
+                 workers_addr: Optional[str] = None,
+                 eval_timeout: Optional[float] = None,
                  ) -> JointSearchResult:
     """Run the joint NAAS+NAS search under a resource constraint.
 
@@ -223,7 +229,11 @@ def search_joint(constraint: ResourceConstraint,
     with independent cache snapshots. ``cache_dir`` backs every inner
     NAS run with the shared persistent disk tier of
     :mod:`repro.search.diskcache` (workers read through to disk and
-    append what they compute).
+    append what they compute). ``transport="tcp"`` dispatches each
+    candidate's whole inner NAS run to a remote ``repro worker``
+    (coarse tasks amortize the wire best of all four searches);
+    ``eval_timeout`` bounds any one dispatched run before inline
+    fallback.
     """
     rng = ensure_rng(seed)
     predictor = predictor or AccuracyPredictor()
@@ -238,8 +248,9 @@ def search_joint(constraint: ResourceConstraint,
         accuracy_floor=accuracy_floor, predictor=predictor)
 
     with build_evaluator(_evaluate_joint_candidate, workers=workers,
-                         cache=cache, schedule=schedule,
-                         shards=shards) as evaluator:
+                         cache=cache, schedule=schedule, shards=shards,
+                         transport=transport, workers_addr=workers_addr,
+                         eval_timeout=eval_timeout) as evaluator:
         history = drive_search(loop, evaluator)
 
     best = loop.best

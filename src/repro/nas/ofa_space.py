@@ -54,13 +54,15 @@ class ResNetArch:
         for depth, limit in zip(self.blocks_per_stage, MAX_BLOCKS_PER_STAGE):
             if not limit - max(DEPTH_REMOVALS) <= depth <= limit:
                 raise ReproError(
-                    f"stage depth {depth} outside [{limit - max(DEPTH_REMOVALS)}, {limit}]")
+                    f"stage depth {depth} outside "
+                    f"[{limit - max(DEPTH_REMOVALS)}, {limit}]")
         if len(self.expand_ratios) != sum(MAX_BLOCKS_PER_STAGE):
             raise ReproError(
                 f"need {sum(MAX_BLOCKS_PER_STAGE)} expand ratios")
         for ratio in self.expand_ratios:
             if ratio not in EXPAND_CHOICES:
-                raise ReproError(f"expand ratio {ratio} not in {EXPAND_CHOICES}")
+                raise ReproError(
+                    f"expand ratio {ratio} not in {EXPAND_CHOICES}")
 
     @property
     def total_blocks(self) -> int:
@@ -115,7 +117,8 @@ class OFAResNetSpace:
             width_mult=1.0,
             image_size=224,
             blocks_per_stage=(3, 4, 6, 3),
-            expand_ratios=tuple(0.25 for _ in range(sum(MAX_BLOCKS_PER_STAGE))),
+            expand_ratios=tuple(
+                0.25 for _ in range(sum(MAX_BLOCKS_PER_STAGE))),
         )
 
     def mutate(self, arch: ResNetArch, rate: float,
@@ -127,8 +130,10 @@ class OFAResNetSpace:
         image = (int(rng.choice(IMAGE_SIZES))
                  if rng.random() < rate else arch.image_size)
         blocks = tuple(
-            int(limit - rng.choice(DEPTH_REMOVALS)) if rng.random() < rate else depth
-            for depth, limit in zip(arch.blocks_per_stage, MAX_BLOCKS_PER_STAGE))
+            int(limit - rng.choice(DEPTH_REMOVALS))
+            if rng.random() < rate else depth
+            for depth, limit in zip(arch.blocks_per_stage,
+                                    MAX_BLOCKS_PER_STAGE))
         expands = tuple(
             float(rng.choice(EXPAND_CHOICES)) if rng.random() < rate else ratio
             for ratio in arch.expand_ratios)
@@ -144,7 +149,8 @@ class OFAResNetSpace:
             return a if rng.random() < 0.5 else b
 
         blocks = tuple(pick(da, db) for da, db in
-                       zip(parent_a.blocks_per_stage, parent_b.blocks_per_stage))
+                       zip(parent_a.blocks_per_stage,
+                           parent_b.blocks_per_stage))
         expands = tuple(pick(ea, eb) for ea, eb in
                         zip(parent_a.expand_ratios, parent_b.expand_ratios))
         return ResNetArch(

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.accelerator.arch import AcceleratorConfig
 from repro.cost.model import CostModel
@@ -38,6 +38,7 @@ from repro.search.parallel import (
     drive_search,
 )
 from repro.search.result import IterationStats
+from repro.search.transport import Transport
 from repro.tensors.network import Network
 from repro.utils.rng import SeedLike, ensure_rng, seed_entropy
 
@@ -427,13 +428,17 @@ def search_quantized(accel: AcceleratorConfig,
                      accuracy_floor: float,
                      population: int = 8,
                      iterations: int = 4,
-                     mapping_budget: MappingSearchBudget = MappingSearchBudget(),
+                     mapping_budget: MappingSearchBudget = (
+                         MappingSearchBudget()),
                      seed: SeedLike = None,
                      predictor: Optional[QuantizedAccuracyPredictor] = None,
                      workers: int = 1,
                      cache_dir: Optional[str] = None,
                      schedule: str = "batched",
                      shards: int = 1,
+                     transport: Union[str, Transport, None] = "local",
+                     workers_addr: Optional[str] = None,
+                     eval_timeout: Optional[float] = None,
                      ) -> QuantSearchResult:
     """Evolve (subnet, bitwidth policy) pairs minimizing EDP on ``accel``.
 
@@ -470,7 +475,9 @@ def search_quantized(accel: AcceleratorConfig,
                       cost_model=cost_model, mapping_budget=mapping_budget,
                       entropy=eval_entropy)
     with build_evaluator(_evaluate_quant_pair, workers=workers, cache=cache,
-                         schedule=schedule, shards=shards) as evaluator:
+                         schedule=schedule, shards=shards,
+                         transport=transport, workers_addr=workers_addr,
+                         eval_timeout=eval_timeout) as evaluator:
         history = drive_search(loop, evaluator)
 
     if loop.best_pair is None:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.accelerator.arch import AcceleratorConfig
 from repro.cost.model import CostModel
@@ -28,6 +28,7 @@ from repro.search.parallel import (
     drive_search,
 )
 from repro.search.result import IterationStats
+from repro.search.transport import Transport
 from repro.utils.rng import SeedLike, ensure_rng, seed_entropy
 
 
@@ -232,7 +233,8 @@ def search_architecture(accel: AcceleratorConfig,
                         cost_model: CostModel,
                         accuracy_floor: float,
                         budget: NASBudget = NASBudget(),
-                        mapping_budget: MappingSearchBudget = MappingSearchBudget(),
+                        mapping_budget: MappingSearchBudget = (
+                            MappingSearchBudget()),
                         seed: SeedLike = None,
                         predictor: Optional[AccuracyPredictor] = None,
                         cache: Optional[EvaluationCache] = None,
@@ -240,6 +242,9 @@ def search_architecture(accel: AcceleratorConfig,
                         cache_dir: Optional[str] = None,
                         schedule: str = "batched",
                         shards: int = 1,
+                        transport: Union[str, Transport, None] = "local",
+                        workers_addr: Optional[str] = None,
+                        eval_timeout: Optional[float] = None,
                         ) -> NASResult:
     """Find the lowest-EDP subnet meeting ``accuracy_floor`` on ``accel``.
 
@@ -291,7 +296,9 @@ def search_architecture(accel: AcceleratorConfig,
                      accuracy_floor=accuracy_floor, population=population,
                      sample_admissible=sample_admissible)
     with build_evaluator(_evaluate_arch, workers=workers, cache=cache,
-                         schedule=schedule, shards=shards) as evaluator:
+                         schedule=schedule, shards=shards,
+                         transport=transport, workers_addr=workers_addr,
+                         eval_timeout=eval_timeout) as evaluator:
         history = drive_search(loop, evaluator)
 
     best_accuracy = predictor(loop.best_arch) if loop.best_arch else 0.0

@@ -30,7 +30,8 @@ def build_subnet(arch: ResNetArch, batch: int = 1, bits: int = 8) -> Network:
     layers: List[ConvLayer] = []
     size = ceil_div(arch.image_size, 2)
     layers.append(ConvLayer(
-        name="stem", n=batch, k=_scale_channels(STEM_CHANNELS, arch.width_mult),
+        name="stem", n=batch,
+        k=_scale_channels(STEM_CHANNELS, arch.width_mult),
         c=3, y=size, x=size, r=7, s=7, stride=2, bits=bits))
     size = ceil_div(size, 2)  # max-pool
 

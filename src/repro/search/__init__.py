@@ -15,6 +15,11 @@
   :func:`~repro.search.parallel.run_steady_loop` drivers, and
   :func:`~repro.search.parallel.drive_search`, which every outer search
   dispatches through.
+- :mod:`repro.search.transport` — where dispatched evaluations run:
+  the in-process pool (:class:`~repro.search.transport.LocalTransport`)
+  or remote ``repro worker`` processes over length-prefixed, versioned
+  TCP frames (:class:`~repro.search.transport.TcpTransport` +
+  :func:`~repro.search.transport.run_worker`).
 """
 
 from repro.search.accelerator_search import NAASBudget, search_accelerator
@@ -43,6 +48,15 @@ from repro.search.result import (
     IterationStats,
     MappingSearchResult,
 )
+from repro.search.transport import (
+    PROTOCOL_VERSION,
+    TRANSPORTS,
+    LocalTransport,
+    TcpTransport,
+    Transport,
+    resolve_transport,
+    run_worker,
+)
 
 __all__ = [
     "AcceleratorSearchResult",
@@ -52,21 +66,28 @@ __all__ = [
     "EvolutionEngine",
     "GenerationLoop",
     "IterationStats",
+    "LocalTransport",
     "MappingSearchBudget",
     "MappingSearchResult",
     "NAASBudget",
+    "PROTOCOL_VERSION",
     "ParallelEvaluator",
     "RandomEngine",
     "SCHEDULES",
     "ShardPlan",
     "SteadyLoop",
     "SteadyStateEvaluator",
+    "TRANSPORTS",
+    "TcpTransport",
+    "Transport",
     "build_evaluator",
     "drive_search",
     "resolve_schedule",
+    "resolve_transport",
     "resolve_workers",
     "run_search_loop",
     "run_steady_loop",
+    "run_worker",
     "search_accelerator",
     "search_mapping",
 ]

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
 
@@ -47,6 +47,7 @@ from repro.search.result import (
     CacheStats,
     MappingSearchResult,
 )
+from repro.search.transport import Transport
 from repro.tensors.network import Network, shape_key
 from repro.utils.logging import get_logger
 from repro.utils.rng import SeedLike, derive_seed, ensure_rng, seed_entropy
@@ -74,10 +75,12 @@ def evaluate_accelerator(accel: AcceleratorConfig,
                          cost_model: CostModel,
                          mapping_budget: MappingSearchBudget,
                          seed: SeedLike = None,
-                         mapping_style: EncodingStyle = EncodingStyle.IMPORTANCE,
+                         mapping_style: EncodingStyle = (
+                             EncodingStyle.IMPORTANCE),
                          cache: Optional[EvaluationCache] = None,
                          reward_fn: RewardFn = geomean_edp,
-                         ) -> Tuple[float, Dict[str, NetworkCost], Dict[str, Mapping]]:
+                         ) -> Tuple[float, Dict[str, NetworkCost],
+                                    Dict[str, Mapping]]:
     """Score one accelerator: best-mapping EDP per network, geomean reward.
 
     Returns ``(reward, {network -> NetworkCost}, {layer -> Mapping})``.
@@ -165,7 +168,8 @@ class _CandidateTask:
 
 def _evaluate_candidate(task: _CandidateTask,
                         cache: Optional[EvaluationCache],
-                        ) -> Tuple[float, Dict[str, NetworkCost], Dict[str, Mapping]]:
+                        ) -> Tuple[float, Dict[str, NetworkCost],
+                                   Dict[str, Mapping]]:
     """ParallelEvaluator worker: score one decoded candidate."""
     return evaluate_accelerator(
         task.accel, task.networks, task.cost_model, task.mapping_budget,
@@ -219,10 +223,12 @@ class _AcceleratorLoop(GenerationLoop):
         # Steady surface (run_steady_loop): same total budget, counted
         # in evaluations; stats windows stay population-sized so
         # histories remain comparable with generational runs.
-        self.max_evaluations = budget.accel_population * budget.accel_iterations
+        self.max_evaluations = (budget.accel_population
+                                * budget.accel_iterations)
         self.stats_window = budget.accel_population
         self._steady_members: Dict[int, Tuple[np.ndarray,
-                                              Optional[AcceleratorConfig]]] = {}
+                                              Optional[
+                                                  AcceleratorConfig]]] = {}
 
     def configure_steady(self) -> None:
         self.engine.configure_steady(self.population)
@@ -305,7 +311,8 @@ def search_accelerator(networks: Sequence[Network],
                        cost_model: CostModel,
                        budget: NAASBudget = NAASBudget(),
                        seed: SeedLike = None,
-                       hardware_style: EncodingStyle = EncodingStyle.IMPORTANCE,
+                       hardware_style: EncodingStyle = (
+                           EncodingStyle.IMPORTANCE),
                        mapping_style: EncodingStyle = EncodingStyle.IMPORTANCE,
                        seed_configs: Sequence[AcceleratorConfig] = (),
                        engine_cls: Type = EvolutionEngine,
@@ -315,6 +322,9 @@ def search_accelerator(networks: Sequence[Network],
                        cache_dir: Optional[str] = None,
                        schedule: str = "batched",
                        shards: int = 1,
+                       transport: Union[str, Transport, None] = "local",
+                       workers_addr: Optional[str] = None,
+                       eval_timeout: Optional[float] = None,
                        ) -> AcceleratorSearchResult:
     """Run the full NAAS hardware search under a resource constraint.
 
@@ -333,6 +343,14 @@ def search_accelerator(networks: Sequence[Network],
     :mod:`repro.search.diskcache`): a repeated run with the same seed
     and budget reuses every mapping-search result and returns a
     bit-identical ``AcceleratorSearchResult``.
+
+    ``transport="tcp"`` binds ``workers_addr`` and dispatches candidate
+    evaluations to connected ``repro worker`` processes instead of the
+    in-process pool — each schedule keeps exactly the guarantees it has
+    locally, whichever host completes what (see
+    :mod:`repro.search.transport`). ``eval_timeout`` bounds how long
+    any dispatched evaluation may stall before it is re-evaluated
+    inline.
     """
     rng = ensure_rng(seed)
     encoder = HardwareEncoder(constraint, style=hardware_style)
@@ -347,7 +365,9 @@ def search_accelerator(networks: Sequence[Network],
         max_decode_attempts=max_decode_attempts)
 
     with build_evaluator(_evaluate_candidate, workers=workers, cache=cache,
-                         schedule=schedule, shards=shards) as evaluator:
+                         schedule=schedule, shards=shards,
+                         transport=transport, workers_addr=workers_addr,
+                         eval_timeout=eval_timeout) as evaluator:
         history = drive_search(loop, evaluator)
 
     return AcceleratorSearchResult(

@@ -60,6 +60,7 @@ import hashlib
 import os
 import pickle
 import struct
+import time
 import zlib
 from pathlib import Path
 from typing import Any, Callable, Dict, Hashable, Optional, Tuple, Union
@@ -218,7 +219,7 @@ class DiskCacheStore:
                            shard, exc)
 
     def get(self, digest: str) -> Tuple[bool, Any]:
-        """Return ``(found, value)`` for a digest; misses are ``(False, None)``.
+        """``(found, value)`` for a digest; misses are ``(False, None)``.
 
         A record that can no longer be read (deleted shard, undecodable
         pickle) degrades to a miss — the caller recomputes.
@@ -447,6 +448,159 @@ def directory_stats(directory: Union[str, Path]) -> DiskCacheDirStats:
     return DiskCacheDirStats(shards=shards, records=records,
                              total_bytes=total_bytes,
                              corrupt_tails=corrupt_tails)
+
+
+@dataclasses.dataclass(frozen=True)
+class CompactStats:
+    """What ``repro cache compact`` did to a cache directory."""
+
+    shards_before: int
+    shards_after: int
+    records_kept: int
+    duplicates_dropped: int
+    bytes_before: int
+    bytes_after: int
+
+
+def compact_directory(directory: Union[str, Path]) -> CompactStats:
+    """Rewrite a cache directory's live records into one fresh shard.
+
+    Walks every shard with the store's own record reader, keeps the
+    first record per digest (the store's first-write-wins rule), and
+    drops duplicate digests plus everything a reader could not reach
+    anyway — torn tails from crashed writers and the unreachable bytes
+    behind a corrupt record. The survivors are written to a single new
+    shard via a temp file + atomic rename, and only then are the old
+    shards unlinked, so a crash mid-compact never loses a live record.
+
+    Offline maintenance: run it while no process is appending to the
+    directory — records appended to an old shard after its scan are
+    dropped with it.
+    """
+    path = Path(directory)
+    old_shards = sorted(path.glob("shard-*.bin"))
+    bytes_before = 0
+    records_kept = 0
+    duplicates = 0
+    seen: set = set()
+    # A fresh token (not _shard_name()) so the output can never collide
+    # with a shard this same process already has open for appends.
+    target = path / f"shard-{os.getpid()}-{os.urandom(4).hex()}.bin"
+    temp = path / f".compact-{os.getpid()}.tmp"
+    try:
+        with open(temp, "wb") as out:
+            for shard in old_shards:
+                try:
+                    bytes_before += shard.stat().st_size
+                except OSError:
+                    continue
+                try:
+                    with open(shard, "rb") as handle:
+                        while True:
+                            status, entry = _next_record(handle)
+                            if status != "ok":
+                                break
+                            digest, length = entry
+                            if digest in seen:
+                                duplicates += 1
+                                continue
+                            handle.seek(-length, os.SEEK_CUR)
+                            payload = handle.read(length)
+                            out.write(_HEADER.pack(
+                                _MAGIC, digest.encode("ascii"), length,
+                                zlib.crc32(payload)) + payload)
+                            seen.add(digest)
+                            records_kept += 1
+                except OSError as exc:
+                    logger.warning("skipping unreadable shard %s (%s)",
+                                   shard, exc)
+            out.flush()
+            os.fsync(out.fileno())
+        if records_kept:
+            os.replace(temp, target)
+        else:
+            os.unlink(temp)
+    except BaseException:
+        try:
+            os.unlink(temp)
+        except OSError:
+            pass
+        raise
+    for shard in old_shards:
+        if shard == target:
+            continue
+        try:
+            os.unlink(shard)
+        except OSError as exc:
+            logger.warning("could not remove compacted shard %s (%s)",
+                           shard, exc)
+    bytes_after = target.stat().st_size if records_kept else 0
+    return CompactStats(
+        shards_before=len(old_shards),
+        shards_after=1 if records_kept else 0,
+        records_kept=records_kept,
+        duplicates_dropped=duplicates,
+        bytes_before=bytes_before,
+        bytes_after=bytes_after)
+
+
+@dataclasses.dataclass(frozen=True)
+class PruneStats:
+    """What ``repro cache prune`` removed from a cache directory."""
+
+    shards_removed: int
+    shards_kept: int
+    records_removed: int
+    bytes_removed: int
+
+
+def prune_directory(directory: Union[str, Path],
+                    older_than_days: float) -> PruneStats:
+    """Drop shard files not appended to for ``older_than_days`` days.
+
+    Records carry no timestamps (the format is append-only and
+    fixed), so staleness is judged per shard by file mtime — an
+    append refreshes it, so a shard only ages out once *nothing* has
+    written to it for the window. Run :func:`compact_directory` first
+    to fold long-lived entries into a fresh (young) shard if they
+    should survive the prune.
+    """
+    if older_than_days < 0:
+        raise ValueError(
+            f"older_than_days must be >= 0, got {older_than_days}")
+    path = Path(directory)
+    cutoff = time.time() - older_than_days * 86400.0
+    removed = kept = records_removed = bytes_removed = 0
+    for shard in sorted(path.glob("shard-*.bin")):
+        try:
+            stat = shard.stat()
+        except OSError:
+            continue
+        if stat.st_mtime >= cutoff:
+            kept += 1
+            continue
+        shard_records = 0
+        try:
+            with open(shard, "rb") as handle:
+                while True:
+                    status, _entry = _next_record(handle)
+                    if status != "ok":
+                        break
+                    shard_records += 1
+        except OSError:
+            pass
+        try:
+            os.unlink(shard)
+        except OSError as exc:
+            logger.warning("could not prune shard %s (%s)", shard, exc)
+            kept += 1
+            continue
+        removed += 1
+        records_removed += shard_records
+        bytes_removed += stat.st_size
+    return PruneStats(shards_removed=removed, shards_kept=kept,
+                      records_removed=records_removed,
+                      bytes_removed=bytes_removed)
 
 
 def build_cache(cache_dir: Union[str, Path, None] = None,

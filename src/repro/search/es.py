@@ -153,7 +153,8 @@ class EvolutionEngine(PartialTellMixin):
         if initial_mean is None:
             self.mean = np.full(num_params, 0.5)
         else:
-            self.mean = np.clip(np.asarray(initial_mean, dtype=float), 0.0, 1.0)
+            self.mean = np.clip(np.asarray(initial_mean, dtype=float),
+                                0.0, 1.0)
             if self.mean.shape != (num_params,):
                 raise SearchError(
                     f"initial_mean must have {num_params} entries")

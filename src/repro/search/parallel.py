@@ -43,7 +43,8 @@ those searches run on:
   :class:`SteadyStateEvaluator`, reporting progress in **evaluation
   counts** (windows of ``stats_window`` completions), not generations.
   :func:`drive_search` picks the right driver for an evaluator.
-- Each worker task receives a :meth:`~repro.search.cache.EvaluationCache.snapshot`
+- Each worker task receives a
+  :meth:`~repro.search.cache.EvaluationCache.snapshot`
   of the master cache taken at generation start; worker hit/miss
   counters and new entries are merged back at the commit boundary. With
   a :class:`~repro.search.diskcache.TieredEvaluationCache` the snapshot
@@ -54,6 +55,16 @@ those searches run on:
   in-memory cache it pickles the generation-start snapshot once per
   candidate rather than once per chunk — pair ``--schedule async`` with
   ``--cache-dir`` when the in-memory cache is large.)
+- *Where* a dispatched task group runs is a
+  :class:`~repro.search.transport.Transport`: the default
+  :class:`~repro.search.transport.LocalTransport` keeps the in-process
+  ProcessPoolExecutor behavior, while
+  :class:`~repro.search.transport.TcpTransport` (``--transport tcp``)
+  fans the same task groups out to remote ``repro worker`` processes —
+  every schedule runs unchanged on either, because both surface the
+  same submit/collect future contract. Remote workers never receive
+  cache snapshots; they read through to their own disk shards and ship
+  back ``(results, delta)`` like any pool worker would.
 
 Determinism contract
 --------------------
@@ -92,7 +103,8 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import (
     Any,
@@ -102,20 +114,34 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 import numpy as np
 
-from repro.errors import EncodingError, SearchError
+from repro.errors import (
+    EncodingError,
+    EvaluationTimeout,
+    SearchError,
+    TransportError,
+)
 from repro.search.cache import EvaluationCache
 from repro.search.result import IterationStats
+from repro.search.transport import (
+    LocalTransport,
+    Transport,
+    WorkerFn,
+    resolve_transport,
+)
 from repro.utils.logging import get_logger
 from repro.utils.rng import seed_entropy, spawn_rngs
 
 logger = get_logger(__name__)
 
-#: A worker maps ``(payload, cache-or-None)`` to a picklable result.
-WorkerFn = Callable[[Any, Optional[EvaluationCache]], Any]
+#: The future-failure types that mean "the execution layer broke" (and
+#: trigger salvage + inline fallback) rather than "the evaluation
+#: raised" (which propagates to the caller unchanged).
+_DISPATCH_FAILURES = (OSError, BrokenProcessPool, TransportError)
 
 #: The evaluation schedules ``build_evaluator`` understands. ``batched``
 #: is the chunk-per-worker reference; ``async`` keeps worker slots full
@@ -161,22 +187,6 @@ def split_chunks(items: Sequence[Any], parts: int) -> List[List[Any]]:
         chunks.append(items[start:start + size])
         start += size
     return chunks
-
-
-def _run_chunk(worker_fn: WorkerFn, payloads: Sequence[Any],
-               cache: Optional[EvaluationCache],
-               ) -> Tuple[List[Any], Optional[EvaluationCache]]:
-    """Evaluate one task group against its private cache snapshot.
-
-    Only the *delta* — entries the group added on top of its snapshot —
-    travels back for the merge, so return-path serialization scales with
-    new work rather than with cumulative cache size.
-    """
-    if cache is None:
-        return [worker_fn(payload, None) for payload in payloads], None
-    baseline = cache.keys()
-    results = [worker_fn(payload, cache) for payload in payloads]
-    return results, cache.delta_since(baseline)
 
 
 class CommitBuffer:
@@ -275,30 +285,58 @@ class ShardPlan:
 class _EvaluatorBase:
     """Shared machinery of the batched and async evaluation schedules.
 
-    ``workers=1`` evaluates inline against the master cache — no
-    subprocess, no snapshot/merge, no pickling — and is the reference
-    behavior every parallel path must reproduce bit-identically.
+    ``workers=1`` (on the local transport) evaluates inline against the
+    master cache — no subprocess, no snapshot/merge, no pickling — and
+    is the reference behavior every parallel path must reproduce
+    bit-identically.
 
-    The executor is created lazily on the first parallel batch and must
-    be released with :meth:`close` (or by using the instance as a context
-    manager). Worker processes are recycled across generations; only the
-    cache snapshots travel per batch. ``executor_factory`` exists for
-    tests that need deterministic control over completion order and
-    failure injection.
+    Dispatched task groups run on a
+    :class:`~repro.search.transport.Transport`; the default
+    :class:`~repro.search.transport.LocalTransport` creates its process
+    pool lazily on the first parallel batch and recycles workers across
+    generations, while a remote transport (TCP) is dispatched to even
+    at ``workers=1`` — its parallelism lives in the connected fleet.
+    Release resources with :meth:`close` (or use the instance as a
+    context manager). ``executor_factory`` exists for tests that need
+    deterministic control over completion order and failure injection;
+    ``eval_timeout`` bounds how long the collect path waits for any one
+    dispatched task group before routing it through the salvage/inline
+    fallback (a hung — not dead — worker must not stall the search).
     """
+
+    #: How long salvage waits for in-flight futures to settle after a
+    #: transport failure before declaring them lost (class attribute so
+    #: failure-mode tests need not wait out the production grace).
+    salvage_grace = 5.0
 
     def __init__(self, worker_fn: WorkerFn, workers: int = 1,
                  cache: Optional[EvaluationCache] = None,
                  shards: int = 1,
                  executor_factory: Optional[Callable[[int], Any]] = None,
+                 transport: Optional[Transport] = None,
+                 eval_timeout: Optional[float] = None,
+                 owns_transport: Optional[bool] = None,
                  ) -> None:
+        if eval_timeout is not None and eval_timeout <= 0:
+            raise SearchError(
+                f"eval_timeout must be positive, got {eval_timeout}")
         self.worker_fn = worker_fn
         self.workers = resolve_workers(workers)
         self.cache = cache
         self.shards = shards
+        self.eval_timeout = eval_timeout
         self._plan = ShardPlan(shards)
-        self._executor: Optional[Any] = None
-        self._executor_factory = executor_factory
+        if transport is None:
+            transport = LocalTransport(
+                self.workers, executor_factory=executor_factory)
+            if owns_transport is None:
+                owns_transport = True
+        self._transport: Optional[Transport] = transport
+        #: Whether close()/degrade may shut the transport down. A
+        #: transport handed in from outside (an experiment sharing one
+        #: worker fleet across many sequential searches) outlives this
+        #: evaluator; one it built itself does not.
+        self._owns_transport = bool(owns_transport)
 
     # ----- public API ---------------------------------------------------
 
@@ -312,10 +350,15 @@ class _EvaluatorBase:
         return self._evaluate_slice(payloads, self.cache)
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        """Release the transport's resources (idempotent).
+
+        Only a transport this evaluator built itself is shut down (the
+        local transport rebuilds its pool if the evaluator is used
+        again; a remote one stays closed). A shared transport handed in
+        by the caller is left running for the next search.
+        """
+        if self._transport is not None and self._owns_transport:
+            self._transport.close()
 
     def __enter__(self) -> "_EvaluatorBase":
         return self
@@ -349,32 +392,62 @@ class _EvaluatorBase:
 
     def _evaluate_slice(self, payloads: List[Any],
                         cache: Optional[EvaluationCache]) -> List[Any]:
-        if self.workers > 1:
-            executor = self._ensure_executor()
-            if executor is not None:
-                groups = self._task_groups(payloads)
-                outcomes = self._dispatch(executor, groups, cache)
-                return self._commit(outcomes, cache)
+        if self._dispatch_ready():
+            groups = self._task_groups(payloads)
+            outcomes = self._dispatch(groups, cache)
+            return self._commit(outcomes, cache)
         return [self.worker_fn(payload, cache) for payload in payloads]
 
+    def _dispatch_ready(self) -> bool:
+        """Should this slice fan out through the transport?
+
+        A local transport is only worth dispatching to with more than
+        one worker; a remote transport always is (its parallelism is
+        the connected fleet, whatever this process's ``workers``). A
+        transport that reports itself unavailable — no pool in this
+        sandbox, no fleet ever connected — degrades the evaluator to
+        inline for the rest of the run.
+        """
+        transport = self._transport
+        if transport is None or transport.closed:
+            return False
+        if not transport.remote and self.workers <= 1:
+            return False
+        if not transport.available():
+            self.workers = 1
+            self._transport = None
+            if self._owns_transport:
+                transport.close()
+            return False
+        return True
+
+    def _chunk_target(self) -> int:
+        """How many task groups the batched schedule should aim for."""
+        if self._transport is not None and self._transport.remote:
+            return self._transport.capacity()
+        return self.workers
+
     def _task_groups(self, payloads: List[Any]) -> List[List[Any]]:
-        """How this schedule partitions a slice into executor tasks."""
+        """How this schedule partitions a slice into transport tasks."""
         raise NotImplementedError
 
-    def _dispatch(self, executor: Any, groups: List[List[Any]],
+    def _dispatch(self, groups: List[List[Any]],
                   cache: Optional[EvaluationCache],
                   ) -> List[Tuple[List[Any], Optional[EvaluationCache]]]:
         """Submit task groups and gather their outcomes, salvage-aware."""
-        snapshot = cache.snapshot() if cache is not None else None
+        snapshot = None
+        if cache is not None and self._transport.wants_snapshot:
+            snapshot = cache.snapshot()
         futures: List[Future] = []
         submit_failure: Optional[BaseException] = None
         for group in groups:
             try:
-                futures.append(executor.submit(
-                    _run_chunk, self.worker_fn, group, snapshot))
-            except (OSError, BrokenProcessPool) as exc:
+                futures.append(self._transport.submit(
+                    self.worker_fn, group, snapshot))
+            except _DISPATCH_FAILURES as exc:
                 # Fork/spawn can also fail at submit time (seccomp,
-                # cgroup limits), not just at pool construction.
+                # cgroup limits), not just at pool construction — and a
+                # remote fleet can vanish between generations.
                 submit_failure = exc
                 break
         buffer = CommitBuffer(len(groups))
@@ -413,7 +486,7 @@ class _EvaluatorBase:
         outstanding = [futures[index] for index in buffer.missing
                        if index < len(futures)]
         if outstanding:
-            wait(outstanding, timeout=5.0)
+            wait(outstanding, timeout=self.salvage_grace)
         salvaged = 0
         for index in buffer.missing:
             if index >= len(futures):
@@ -425,8 +498,9 @@ class _EvaluatorBase:
                 salvaged += 1
         remainder = buffer.missing
         logger.warning(
-            "worker pool failed (%s); salvaged %d completed task groups, "
-            "re-evaluating %d inline", failure, salvaged, len(remainder))
+            "evaluation transport failed (%s); salvaged %d completed task "
+            "groups, re-evaluating %d inline", failure, salvaged,
+            len(remainder))
         self._degrade_to_inline()
         for index in remainder:
             buffer.land(index, (
@@ -445,33 +519,22 @@ class _EvaluatorBase:
                 cache.merge(delta)
         return results
 
-    # ----- pool lifecycle ----------------------------------------------
+    # ----- transport lifecycle ------------------------------------------
 
     def _degrade_to_inline(self) -> None:
         self.workers = 1
-        executor, self._executor = self._executor, None
-        if executor is not None:
-            try:
-                executor.shutdown(wait=False)
-            except Exception:  # broken pools may refuse even shutdown
-                pass
-
-    def _ensure_executor(self) -> Optional[Any]:
-        if self._executor is None:
-            factory = self._executor_factory or (
-                lambda max_workers: ProcessPoolExecutor(
-                    max_workers=max_workers))
-            try:
-                self._executor = factory(self.workers)
-            except OSError as exc:
-                # Sandboxes without fork/spawn support still get correct
-                # (serial) results; the determinism contract makes the two
-                # paths interchangeable.
-                logger.warning(
-                    "process pool unavailable (%s); evaluating inline", exc)
-                self.workers = 1
-                return None
-        return self._executor
+        transport, self._transport = self._transport, None
+        if transport is None or not self._owns_transport:
+            # A shared transport is merely detached: this search runs
+            # inline from here on, but the fleet keeps serving others.
+            return
+        if isinstance(transport, LocalTransport):
+            transport.shutdown_broken()
+            return
+        try:
+            transport.close()
+        except Exception:  # a dying transport may refuse even close
+            pass
 
 
 class ParallelEvaluator(_EvaluatorBase):
@@ -486,14 +549,18 @@ class ParallelEvaluator(_EvaluatorBase):
     """
 
     def _task_groups(self, payloads: List[Any]) -> List[List[Any]]:
-        return split_chunks(payloads, self.workers)
+        return split_chunks(payloads, self._chunk_target())
 
     def _land_completions(self, futures: List[Future],
                           buffer: CommitBuffer) -> Optional[BaseException]:
         for index, future in enumerate(futures):
             try:
-                buffer.land(index, future.result())
-            except (OSError, BrokenProcessPool) as exc:
+                buffer.land(index, future.result(timeout=self.eval_timeout))
+            except FuturesTimeout:
+                return EvaluationTimeout(
+                    f"task group {index} exceeded "
+                    f"eval_timeout={self.eval_timeout:g}s")
+            except _DISPATCH_FAILURES as exc:
                 return exc
         return None
 
@@ -521,20 +588,28 @@ class AsyncEvaluator(_EvaluatorBase):
         pending = set(futures)
         while pending:
             done, pending = self._wait_any(pending)
+            if not done:
+                return EvaluationTimeout(
+                    f"{len(pending)} in-flight evaluations made no "
+                    f"progress within eval_timeout={self.eval_timeout:g}s")
             for future in done:
                 try:
                     buffer.land(index_of[future], future.result())
-                except (OSError, BrokenProcessPool) as exc:
+                except _DISPATCH_FAILURES as exc:
                     return exc
         return None
 
     def _wait_any(self, pending: set) -> Tuple[set, set]:
-        """Block until at least one pending future completes.
+        """Wait until a pending future completes (or ``eval_timeout``).
 
-        Overridable seam: the determinism tests replace it to replay
-        every completion-order permutation deterministically.
+        An empty ``done`` set means the timeout expired with nothing
+        finished; the caller routes the stuck tickets through the
+        salvage/inline path. Overridable seam: the determinism tests
+        replace it to replay every completion-order permutation
+        deterministically.
         """
-        done, still_pending = wait(pending, return_when=FIRST_COMPLETED)
+        done, still_pending = wait(pending, timeout=self.eval_timeout,
+                                   return_when=FIRST_COMPLETED)
         return done, still_pending
 
 
@@ -570,6 +645,9 @@ class SteadyStateEvaluator(_EvaluatorBase):
                  cache: Optional[EvaluationCache] = None,
                  shards: int = 1,
                  executor_factory: Optional[Callable[[int], Any]] = None,
+                 transport: Optional[Transport] = None,
+                 eval_timeout: Optional[float] = None,
+                 owns_transport: Optional[bool] = None,
                  ) -> None:
         if shards != 1:
             raise SearchError(
@@ -577,14 +655,15 @@ class SteadyStateEvaluator(_EvaluatorBase):
                 "population sharding assumes generation boundaries, which "
                 f"steady-state evaluation removes (got shards={shards})")
         super().__init__(worker_fn, workers=workers, cache=cache, shards=1,
-                         executor_factory=executor_factory)
-        #: How many candidates to keep in flight.
-        self.capacity = max(1, self.workers)
+                         executor_factory=executor_factory,
+                         transport=transport, eval_timeout=eval_timeout,
+                         owns_transport=owns_transport)
         self._next_ticket = 0
         self._payloads: Dict[int, Any] = {}
         self._futures: Dict[int, Future] = {}
         #: Landed but uncollected ``(results, delta)`` outcomes, FIFO.
-        self._ready: Dict[int, Tuple[List[Any], Optional[EvaluationCache]]] = {}
+        self._ready: Dict[
+            int, Tuple[List[Any], Optional[EvaluationCache]]] = {}
         self._inline_queue: List[int] = []
         #: Snapshot reused across submits until the master cache next
         #: changes — without this, every single candidate would pay an
@@ -593,6 +672,20 @@ class SteadyStateEvaluator(_EvaluatorBase):
         self._snapshot: Optional[EvaluationCache] = None
 
     # ----- streaming API ------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """How many candidates to keep in flight.
+
+        Sized to the local worker count — or, over a remote transport,
+        to the *fleet* (whichever is larger), so an N-worker TCP fleet
+        is kept saturated even when the coordinator's own ``--workers``
+        is 1. Recomputed per read: workers joining mid-run raise it.
+        """
+        transport = self._transport
+        if transport is not None and transport.remote and not transport.closed:
+            return max(1, self.workers, transport.capacity())
+        return max(1, self.workers)
 
     @property
     def pending(self) -> int:
@@ -605,16 +698,13 @@ class SteadyStateEvaluator(_EvaluatorBase):
         ticket = self._next_ticket
         self._next_ticket += 1
         self._payloads[ticket] = payload
-        if self.workers > 1:
-            executor = self._ensure_executor()
-            if executor is not None:
-                try:
-                    self._futures[ticket] = executor.submit(
-                        _run_chunk, self.worker_fn, [payload],
-                        self._current_snapshot())
-                    return ticket
-                except (OSError, BrokenProcessPool) as exc:
-                    self._handle_pool_failure(exc)
+        if self._dispatch_ready():
+            try:
+                self._futures[ticket] = self._transport.submit(
+                    self.worker_fn, [payload], self._current_snapshot())
+                return ticket
+            except _DISPATCH_FAILURES as exc:
+                self._handle_pool_failure(exc)
         self._inline_queue.append(ticket)
         return ticket
 
@@ -625,8 +715,10 @@ class SteadyStateEvaluator(_EvaluatorBase):
         one object across submits is exactly equivalent to snapshotting
         per submit — until the master cache changes, at which point
         :meth:`collect` has dropped it and the next submit re-snapshots.
+        Remote transports ship no snapshot at all: their workers read
+        through to their own caches.
         """
-        if self.cache is None:
+        if self.cache is None or not self._transport.wants_snapshot:
             return None
         if self._snapshot is None:
             self._snapshot = self.cache.snapshot()
@@ -665,12 +757,20 @@ class SteadyStateEvaluator(_EvaluatorBase):
         ticket_of = {future: ticket
                      for ticket, future in self._futures.items()}
         done, _ = self._wait_any(set(ticket_of))
+        if not done:
+            # eval_timeout expired with nothing landing: treat the
+            # stall like a transport failure so the stuck tickets run
+            # inline instead of blocking the search forever.
+            self._handle_pool_failure(EvaluationTimeout(
+                f"{len(ticket_of)} in-flight evaluations made no "
+                f"progress within eval_timeout={self.eval_timeout:g}s"))
+            return
         for future in done:
             ticket = ticket_of[future]
             del self._futures[ticket]
             try:
                 self._ready[ticket] = future.result()
-            except (OSError, BrokenProcessPool) as exc:
+            except _DISPATCH_FAILURES as exc:
                 # The candidate whose future carried the failure is lost
                 # work too: queue it for inline re-evaluation alongside
                 # whatever _handle_pool_failure cannot salvage.
@@ -679,12 +779,15 @@ class SteadyStateEvaluator(_EvaluatorBase):
                 return
 
     def _wait_any(self, pending: set) -> Tuple[set, set]:
-        """Block until at least one pending future completes.
+        """Wait until a pending future completes (or ``eval_timeout``).
 
-        Overridable seam, mirroring :meth:`AsyncEvaluator._wait_any`:
-        tests replace it to script completion orders deterministically.
+        An empty ``done`` set means the timeout expired with nothing
+        finished. Overridable seam, mirroring
+        :meth:`AsyncEvaluator._wait_any`: tests replace it to script
+        completion orders deterministically.
         """
-        done, still_pending = wait(pending, return_when=FIRST_COMPLETED)
+        done, still_pending = wait(pending, timeout=self.eval_timeout,
+                                   return_when=FIRST_COMPLETED)
         return done, still_pending
 
     def _handle_pool_failure(self, failure: BaseException) -> None:
@@ -692,7 +795,7 @@ class SteadyStateEvaluator(_EvaluatorBase):
         outstanding = dict(self._futures)
         self._futures = {}
         if outstanding:
-            wait(list(outstanding.values()), timeout=5.0)
+            wait(list(outstanding.values()), timeout=self.salvage_grace)
         salvaged = 0
         for ticket, future in sorted(outstanding.items()):
             if (future.done() and not future.cancelled()
@@ -702,9 +805,9 @@ class SteadyStateEvaluator(_EvaluatorBase):
             else:
                 self._inline_queue.append(ticket)
         logger.warning(
-            "worker pool failed (%s); salvaged %d in-flight steady "
-            "evaluations, re-evaluating %d inline", failure, salvaged,
-            len(outstanding) - salvaged)
+            "evaluation transport failed (%s); salvaged %d in-flight "
+            "steady evaluations, re-evaluating %d inline", failure,
+            salvaged, len(outstanding) - salvaged)
         self._degrade_to_inline()
 
     # ----- batch compatibility -----------------------------------------
@@ -730,7 +833,10 @@ _SCHEDULE_CLASSES = {
 def build_evaluator(worker_fn: WorkerFn, workers: int = 1,
                     cache: Optional[EvaluationCache] = None,
                     schedule: str = "batched",
-                    shards: int = 1) -> _EvaluatorBase:
+                    shards: int = 1,
+                    transport: Union[str, Transport, None] = "local",
+                    workers_addr: Optional[str] = None,
+                    eval_timeout: Optional[float] = None) -> _EvaluatorBase:
     """The evaluator a search run should use for its execution config.
 
     ``schedule`` picks :class:`ParallelEvaluator` (``batched``),
@@ -741,9 +847,28 @@ def build_evaluator(worker_fn: WorkerFn, workers: int = 1,
     schedules return bit-identical search results at any worker/shard
     count; ``steady`` trades that contract for cross-boundary
     utilization and promises convergence instead.
+
+    ``transport`` picks where dispatched evaluations run: ``"local"``
+    (the in-process pool), ``"tcp"`` (bind ``workers_addr`` and fan out
+    to connected ``repro worker`` processes — every schedule keeps the
+    exact guarantees it has locally, because commit boundaries and
+    content-derived seeds are transport-independent), or a ready-made
+    :class:`~repro.search.transport.Transport` instance. ``eval_timeout``
+    bounds how long collection waits on any dispatched task group
+    before the stuck work is salvaged and re-evaluated inline.
     """
     cls = _SCHEDULE_CLASSES[resolve_schedule(schedule)]
-    return cls(worker_fn, workers=workers, cache=cache, shards=shards)
+    transport_obj = resolve_transport(transport, workers_addr=workers_addr)
+    # A transport built from a spec string — including the implicit
+    # local pool when transport_obj is None — belongs to this evaluator
+    # (owns_transport=None lets the constructor claim its own
+    # LocalTransport); an instance handed in belongs to the caller
+    # (e.g. an experiment sharing one fleet across sequential searches).
+    owns = (None if transport_obj is None
+            else not isinstance(transport, Transport))
+    return cls(worker_fn, workers=workers, cache=cache, shards=shards,
+               transport=transport_obj, eval_timeout=eval_timeout,
+               owns_transport=owns)
 
 
 class GenerationLoop:
@@ -943,7 +1068,8 @@ def ask_generation(engine: Any, encoder: Any, population: int,
                    rng: np.random.Generator,
                    max_decode_attempts: int = DEFAULT_DECODE_ATTEMPTS,
                    name_prefix: str = "naas",
-                   ) -> Tuple[List[np.ndarray], List[Optional[Any]], List[int]]:
+                   ) -> Tuple[List[np.ndarray], List[Optional[Any]],
+                              List[int]]:
     """Ask phase of one batched generation, shared by both outer loops.
 
     Samples the whole generation up front (warm-start vectors override

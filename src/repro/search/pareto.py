@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.accelerator.arch import AcceleratorConfig
 from repro.cost.model import CostModel
@@ -20,6 +20,7 @@ from repro.nas.search import NASBudget, NASResult, search_architecture
 from repro.search.cache import EvaluationCache
 from repro.search.mapping_search import MappingSearchBudget
 from repro.search.parallel import build_evaluator
+from repro.search.transport import Transport
 from repro.utils.rng import SeedLike, ensure_rng, seed_entropy, spawn_rngs
 
 
@@ -108,13 +109,17 @@ def sweep_accuracy_frontier(accel: AcceleratorConfig,
                             cost_model: CostModel,
                             accuracy_floors: Sequence[float],
                             nas_budget: NASBudget = NASBudget(),
-                            mapping_budget: MappingSearchBudget = MappingSearchBudget(),
+                            mapping_budget: MappingSearchBudget = (
+                                MappingSearchBudget()),
                             seed: SeedLike = None,
                             predictor: Optional[AccuracyPredictor] = None,
                             workers: int = 1,
                             cache_dir: Optional[str] = None,
                             schedule: str = "batched",
                             shards: int = 1,
+                            transport: Union[str, Transport, None] = "local",
+                            workers_addr: Optional[str] = None,
+                            eval_timeout: Optional[float] = None,
                             ) -> List[FrontierPoint]:
     """Trace the accuracy/EDP frontier on fixed hardware.
 
@@ -143,7 +148,9 @@ def sweep_accuracy_frontier(accel: AcceleratorConfig,
                         predictor=predictor, cache_dir=cache_dir)
              for floor, entropy in zip(floors, entropies)]
     with build_evaluator(_search_floor, workers=workers, schedule=schedule,
-                         shards=shards) as evaluator:
+                         shards=shards, transport=transport,
+                         workers_addr=workers_addr,
+                         eval_timeout=eval_timeout) as evaluator:
         results = evaluator.evaluate(tasks)
     points: List[FrontierPoint] = []
     for floor, result in zip(floors, results):

@@ -28,7 +28,8 @@ def config_from_dict(payload: Dict[str, Any]) -> AcceleratorConfig:
     try:
         return AcceleratorConfig(
             array_dims=tuple(int(d) for d in payload["array_dims"]),
-            parallel_dims=tuple(Dim[name] for name in payload["parallel_dims"]),
+            parallel_dims=tuple(Dim[name]
+                                for name in payload["parallel_dims"]),
             l1_bytes=int(payload["l1_bytes"]),
             l2_bytes=int(payload["l2_bytes"]),
             dram_bandwidth=int(payload["dram_bandwidth"]),

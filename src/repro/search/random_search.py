@@ -20,7 +20,8 @@ class RandomEngine(PartialTellMixin):
     """Drop-in, non-adaptive replacement for
     :class:`repro.search.es.EvolutionEngine`."""
 
-    def __init__(self, num_params: int, seed: SeedLike = None, **_ignored) -> None:
+    def __init__(self, num_params: int, seed: SeedLike = None,
+                 **_ignored) -> None:
         if num_params < 1:
             raise SearchError(f"num_params must be >= 1, got {num_params}")
         self.num_params = num_params

@@ -1,4 +1,5 @@
-"""Tensor dimension vocabulary shared by mappings, encodings and the cost model.
+"""Tensor dimension vocabulary shared by mappings, encodings and the
+cost model.
 
 The paper (Fig 2) names seven loop dimensions for a convolution:
 
@@ -58,7 +59,8 @@ REDUCTION_DIMS: Tuple[Dim, ...] = (Dim.C, Dim.R, Dim.S)
 
 #: Stable integer index per dimension for the cost model's hot path
 #: (plain-int indexing avoids enum hashing in inner loops).
-DIM_INDEX = {Dim.N: 0, Dim.K: 1, Dim.C: 2, Dim.Y: 3, Dim.X: 4, Dim.R: 5, Dim.S: 6}
+DIM_INDEX = {Dim.N: 0, Dim.K: 1, Dim.C: 2, Dim.Y: 3, Dim.X: 4,
+             Dim.R: 5, Dim.S: 6}
 INDEX_DIM: Tuple[Dim, ...] = (Dim.N, Dim.K, Dim.C, Dim.Y, Dim.X, Dim.R, Dim.S)
 
 #: Integer indices mirroring the role sets above.

@@ -54,11 +54,13 @@ class ConvLayer:
     bits: int = 8
 
     def __post_init__(self) -> None:
-        for field in ("n", "k", "c", "y", "x", "r", "s", "stride", "groups", "bits"):
+        for field in ("n", "k", "c", "y", "x", "r", "s", "stride",
+                      "groups", "bits"):
             value = getattr(self, field)
             if not isinstance(value, int) or value <= 0:
                 raise InvalidLayerError(
-                    f"layer {self.name!r}: {field} must be a positive int, got {value!r}")
+                    f"layer {self.name!r}: {field} must be a positive "
+                    f"int, got {value!r}")
         if self.k % self.groups or self.c % self.groups:
             raise InvalidLayerError(
                 f"layer {self.name!r}: groups={self.groups} must divide "
@@ -106,7 +108,8 @@ class ConvLayer:
 
     @property
     def weight_elements(self) -> int:
-        return self.groups * self.k_per_group * self.c_per_group * self.r * self.s
+        return (self.groups * self.k_per_group * self.c_per_group
+                * self.r * self.s)
 
     @property
     def input_elements(self) -> int:
@@ -145,7 +148,8 @@ class ConvLayer:
         """All seven trip counts keyed by :class:`Dim`."""
         return {dim: self.dim_size(dim) for dim in Dim}
 
-    def scaled(self, width_multiplier: float, name_suffix: str = "") -> "ConvLayer":
+    def scaled(self, width_multiplier: float,
+               name_suffix: str = "") -> "ConvLayer":
         """Return a copy with channel counts scaled (used by the NAS space).
 
         Channel counts are rounded to a multiple of 8 (at least the group
@@ -157,8 +161,11 @@ class ConvLayer:
                 f"width multiplier must be positive, got {width_multiplier}")
 
         def scale_channels(channels: int) -> int:
-            scaled_value = max(1, int(round(channels * width_multiplier / 8.0)) * 8)
-            return scaled_value if channels >= 8 else max(1, round(channels * width_multiplier))
+            scaled_value = max(
+                1, int(round(channels * width_multiplier / 8.0)) * 8)
+            if channels >= 8:
+                return scaled_value
+            return max(1, round(channels * width_multiplier))
 
         if self.is_depthwise:
             new_c = scale_channels(self.c)
@@ -180,7 +187,8 @@ def conv1x1(name: str, k: int, c: int, y: int, x: int, stride: int = 1,
 def depthwise(name: str, channels: int, y: int, x: int, r: int = 3, s: int = 3,
               stride: int = 1, n: int = 1, bits: int = 8) -> ConvLayer:
     """Depthwise convolution helper (groups == channels)."""
-    return ConvLayer(name=name, n=n, k=channels, c=channels, y=y, x=x, r=r, s=s,
+    return ConvLayer(name=name, n=n, k=channels, c=channels,
+                     y=y, x=x, r=r, s=s,
                      stride=stride, groups=channels, bits=bits)
 
 

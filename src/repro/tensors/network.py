@@ -72,7 +72,8 @@ class Network:
         """Width-scaled copy of the whole network (NAS substrate)."""
         return Network(
             name=f"{self.name}-w{width_multiplier:g}",
-            layers=tuple(layer.scaled(width_multiplier) for layer in self.layers))
+            layers=tuple(layer.scaled(width_multiplier)
+                         for layer in self.layers))
 
     def describe(self) -> str:
         """Multi-line human-readable summary used by examples."""

@@ -1,4 +1,5 @@
-"""Shared utilities: math helpers, RNG plumbing, logging, tables, serialization."""
+"""Shared utilities: math helpers, RNG plumbing, logging, tables,
+serialization."""
 
 from repro.utils.mathutils import (
     ceil_div,

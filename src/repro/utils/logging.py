@@ -24,11 +24,13 @@ def get_logger(name: str) -> logging.Logger:
 def enable_console_logging(level: int = logging.INFO) -> None:
     """Attach a simple console handler; used by examples and experiments."""
     logger = logging.getLogger(_PACKAGE_LOGGER_NAME)
-    if any(isinstance(h, logging.StreamHandler) and not isinstance(h, logging.NullHandler)
+    if any(isinstance(h, logging.StreamHandler)
+           and not isinstance(h, logging.NullHandler)
            for h in logger.handlers):
         logger.setLevel(level)
         return
     handler = logging.StreamHandler()
-    handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s"))
+    handler.setFormatter(logging.Formatter(
+        "%(asctime)s %(name)s %(levelname)s %(message)s"))
     logger.addHandler(handler)
     logger.setLevel(level)

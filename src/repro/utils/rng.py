@@ -29,7 +29,8 @@ def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_rngs(rng: np.random.Generator, count: int) -> List[np.random.Generator]:
+def spawn_rngs(rng: np.random.Generator,
+               count: int) -> List[np.random.Generator]:
     """Derive ``count`` statistically independent child generators.
 
     Children are seeded from the parent stream, so a run is fully

@@ -16,9 +16,11 @@ import numpy as np
 
 
 def to_jsonable(obj: Any) -> Any:
-    """Recursively convert dataclasses / numpy scalars / tuples to JSON types."""
+    """Recursively convert dataclasses / numpy scalars / tuples to
+    JSON types."""
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return {f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+        return {f.name: to_jsonable(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
     if isinstance(obj, dict):
         return {str(k): to_jsonable(v) for k, v in obj.items()}
     if isinstance(obj, (list, tuple)):

@@ -33,7 +33,8 @@ def format_cell(cell: Cell, precision: int = 3) -> str:
 def render_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
                  precision: int = 3) -> str:
     """Render an aligned ASCII table with a header separator line."""
-    str_rows: List[List[str]] = [[format_cell(c, precision) for c in row] for row in rows]
+    str_rows: List[List[str]] = [[format_cell(c, precision) for c in row]
+                                 for row in rows]
     header_row = [str(h) for h in headers]
     widths = [len(h) for h in header_row]
     for row in str_rows:
@@ -43,15 +44,18 @@ def render_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
     lines = [
-        "  ".join(h.ljust(widths[i]) for i, h in enumerate(header_row)).rstrip(),
+        "  ".join(h.ljust(widths[i])
+                  for i, h in enumerate(header_row)).rstrip(),
         "  ".join("-" * widths[i] for i in range(len(widths))).rstrip(),
     ]
     for row in str_rows:
-        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip())
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)).rstrip())
     return "\n".join(lines)
 
 
-def render_markdown_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+def render_markdown_table(headers: Sequence[str],
+                          rows: Iterable[Sequence[Cell]],
                           precision: int = 3) -> str:
     """Render a GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
     str_rows = [[format_cell(c, precision) for c in row] for row in rows]

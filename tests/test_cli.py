@@ -189,3 +189,147 @@ class TestCommands:
         assert main(["cache", "stats", "--cache-dir",
                      str(tmp_path / "absent")]) == 1
         assert "no cache directory" in capsys.readouterr().err
+
+    def test_cache_compact_folds_shards_and_drops_tails(self, capsys,
+                                                        tmp_path):
+        from repro.search.diskcache import DiskCacheStore, content_digest
+
+        store = DiskCacheStore(tmp_path)
+        store.put(content_digest("a"), {"value": 1})
+        store.put(content_digest("b"), {"value": 2})
+        store.close()
+        shard = next(tmp_path.glob("shard-*.bin"))
+        with open(shard, "ab") as handle:
+            handle.write(b"torn-record")
+        assert main(["cache", "compact", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "records kept       : 2" in out
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        stats_out = capsys.readouterr().out
+        assert "shards             : 1" in stats_out
+        assert "records            : 2" in stats_out
+        assert "corrupt-tail skips : 0" in stats_out
+        # Compaction preserved the payloads byte-for-byte.
+        compacted = DiskCacheStore(tmp_path)
+        assert compacted.get(content_digest("a")) == (True, {"value": 1})
+        assert compacted.get(content_digest("b")) == (True, {"value": 2})
+
+    def test_cache_prune_drops_stale_shards_only(self, capsys, tmp_path):
+        import os
+
+        from repro.search.diskcache import DiskCacheStore, content_digest
+
+        store = DiskCacheStore(tmp_path)
+        store.put(content_digest("old"), 1)
+        store.close()
+        stale = next(tmp_path.glob("shard-*.bin"))
+        week_ago = __import__("time").time() - 7 * 86400
+        os.utime(stale, (week_ago, week_ago))
+        fresh_dir_store = DiskCacheStore(tmp_path)
+        fresh_dir_store._write_path = None  # force a new shard name
+        import repro.search.diskcache as diskcache_module
+        diskcache_module._process_shard = None  # re-roll the shard token
+        fresh_dir_store.put(content_digest("new"), 2)
+        fresh_dir_store.close()
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path),
+                     "--older-than", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "shards removed     : 1 (1 kept)" in out
+        assert "records removed    : 1" in out
+        survivor = DiskCacheStore(tmp_path)
+        assert survivor.get(content_digest("new")) == (True, 2)
+        assert survivor.get(content_digest("old")) == (False, None)
+
+    def test_cache_prune_requires_older_than(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "prune", "--cache-dir", str(tmp_path)])
+        assert "--older-than" in capsys.readouterr().err
+
+    def test_cache_stats_rejects_older_than(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "stats", "--cache-dir", str(tmp_path),
+                  "--older-than", "3"])
+        assert "only applies to 'prune'" in capsys.readouterr().err
+
+
+class TestTransportFlags:
+    @pytest.mark.parametrize("command", [
+        ["search", "squeezenet", "shidiannao"],
+        ["experiment", "fig4"],
+    ])
+    def test_tcp_requires_workers_addr(self, command, capsys):
+        with pytest.raises(SystemExit):
+            main(command + ["--transport", "tcp"])
+        assert "--workers-addr" in capsys.readouterr().err
+
+    def test_workers_addr_requires_tcp(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["search", "squeezenet", "shidiannao",
+                  "--workers-addr", "127.0.0.1:7070"])
+        assert "--transport tcp" in capsys.readouterr().err
+
+    def test_transport_flags_parse(self):
+        args = build_parser().parse_args(
+            ["search", "squeezenet", "shidiannao", "--transport", "tcp",
+             "--workers-addr", "127.0.0.1:7070", "--eval-timeout", "90"])
+        assert args.transport == "tcp"
+        assert args.workers_addr == "127.0.0.1:7070"
+        assert args.eval_timeout == 90.0
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["search", "squeezenet", "shidiannao",
+                 "--transport", "carrier-pigeon"])
+
+    def test_eval_timeout_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["search", "squeezenet", "shidiannao",
+                 "--eval-timeout", "0"])
+        assert "--eval-timeout must be > 0" in capsys.readouterr().err
+
+    def test_worker_requires_connect(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+        assert "--connect" in capsys.readouterr().err
+
+    def test_worker_flags_parse(self):
+        args = build_parser().parse_args(
+            ["worker", "--connect", "10.0.0.1:7070",
+             "--cache-dir", "/tmp/x", "--retry", "60", "--heartbeat", "2"])
+        assert args.connect == "10.0.0.1:7070"
+        assert (args.retry, args.heartbeat) == (60.0, 2.0)
+
+    def test_worker_serves_a_search_end_to_end(self, capsys, tmp_path):
+        """`repro search --transport tcp` against an in-thread
+        `repro worker` returns the same design as the local run."""
+        import threading
+
+        from repro.search.transport import TcpTransport
+
+        # Pick a free port by binding port 0 first.
+        probe = TcpTransport(bind="127.0.0.1:0")
+        host, port = probe.address
+        probe.close()
+        address = f"{host}:{port}"
+        worker = threading.Thread(
+            target=main,
+            args=(["worker", "--connect", address,
+                   "--cache-dir", str(tmp_path / "worker-cache"),
+                   "--retry", "30", "--heartbeat", "0.5"],),
+            daemon=True)
+        worker.start()
+        base = ["search", "squeezenet", "shidiannao", "--seed", "3"]
+        assert main(base) == 0
+        local_out = capsys.readouterr().out
+        assert main(base + ["--workers", "2", "--schedule", "async",
+                            "--transport", "tcp",
+                            "--workers-addr", address]) == 0
+        tcp_out = capsys.readouterr().out
+        # The worker thread's own exit line may race into the capture.
+        tcp_lines = [line for line in tcp_out.splitlines()
+                     if not line.startswith("worker exiting")]
+        assert tcp_lines == local_out.splitlines()
+        worker.join(timeout=10.0)

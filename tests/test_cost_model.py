@@ -144,7 +144,8 @@ class TestNetworkEvaluation:
             cost = cost_model.evaluate_network(
                 net, accel,
                 lambda layer: dataflow_preserving_mapping(layer, accel))
-            assert cost.valid, f"{name}: {[c.reasons for c in cost.layer_costs if not c.valid][:2]}"
+            bad = [c.reasons for c in cost.layer_costs if not c.valid]
+            assert cost.valid, f"{name}: {bad[:2]}"
         del accel_mapping
 
 

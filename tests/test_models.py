@@ -40,11 +40,14 @@ class TestZoo:
     def test_mac_counts_plausible(self, name, bounds):
         lo, hi = bounds
         gmacs = build_model(name).total_macs / 1e9
-        assert lo <= gmacs <= hi, f"{name}: {gmacs:.2f} GMACs not in [{lo}, {hi}]"
+        assert lo <= gmacs <= hi, \
+            f"{name}: {gmacs:.2f} GMACs not in [{lo}, {hi}]"
 
     def test_benchmark_sets(self):
-        assert [n.name for n in large_benchmark_set()] == list(LARGE_BENCHMARKS)
-        assert [n.name for n in mobile_benchmark_set()] == list(MOBILE_BENCHMARKS)
+        assert ([n.name for n in large_benchmark_set()]
+                == list(LARGE_BENCHMARKS))
+        assert ([n.name for n in mobile_benchmark_set()]
+                == list(MOBILE_BENCHMARKS))
 
 
 class TestChannelWiring:

@@ -12,7 +12,8 @@ from repro.search.random_search import RandomEngine
 
 class TestBudget:
     def test_total_samples(self):
-        assert MappingSearchBudget(population=4, iterations=3).total_samples == 12
+        budget = MappingSearchBudget(population=4, iterations=3)
+        assert budget.total_samples == 12
 
     def test_rejects_zero(self):
         with pytest.raises(ValueError):
