@@ -2,13 +2,36 @@
 
 The evaluator sits in the innermost loop of a three-level search, so its
 throughput bounds every experiment. These benchmarks use pytest-benchmark
-conventionally (many rounds) since each call is microseconds-scale.
+conventionally (many rounds) since each call is microseconds-scale, plus
+one manually-timed batch-vs-scalar comparison (``evaluate_batch`` runs
+the traffic analysis as numpy ops across the whole population, so its
+win only shows at realistic batch sizes).
+
+Numbers land in ``benchmarks/results/cost_model_perf.txt`` and
+``benchmarks/results/cost_batch_scaling.txt``.
 """
+
+import math
+import time
+from pathlib import Path
 
 from repro.accelerator.presets import baseline_preset
 from repro.cost.model import CostModel
+from repro.errors import InvalidMappingError
 from repro.mapping.builders import dataflow_preserving_mapping
 from repro.models import build_model
+from repro.utils.rng import ensure_rng
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Rows accumulated by the pytest-benchmark tests in this module; the
+#: final (non-benchmark) test writes them out so one file carries the
+#: whole cost-layer picture, batch row included.
+_ROWS = {}
+
+
+def _record(name, seconds_per_call):
+    _ROWS[name] = seconds_per_call
 
 
 def test_single_layer_evaluation(benchmark):
@@ -19,6 +42,7 @@ def test_single_layer_evaluation(benchmark):
 
     cost = benchmark(model.evaluate, layer, accel, mapping)
     assert cost.valid
+    _record("scalar evaluate (1 layer)", benchmark.stats.stats.mean)
 
 
 def test_network_evaluation(benchmark):
@@ -33,11 +57,11 @@ def test_network_evaluation(benchmark):
 
     cost = benchmark(evaluate)
     assert cost.valid
+    _record("evaluate_network (squeezenet)", benchmark.stats.stats.mean)
 
 
 def test_mapping_decode(benchmark):
     from repro.encoding.mapping_enc import MappingEncoder
-    from repro.utils.rng import ensure_rng
 
     accel = baseline_preset("eyeriss")
     layer = build_model("mobilenet_v2").layers[5]
@@ -46,3 +70,87 @@ def test_mapping_decode(benchmark):
 
     mapping = benchmark(encoder.decode, vector)
     assert mapping.legal_for(layer)
+    _record("mapping decode", benchmark.stats.stats.mean)
+
+
+def _decode_population(layer, accel, count, seed=0):
+    """``count`` decodable mappings, the way the search produces them."""
+    from repro.encoding.mapping_enc import MappingEncoder
+
+    encoder = MappingEncoder(layer, accel)
+    rng = ensure_rng(seed)
+    mappings = []
+    while len(mappings) < count:
+        vector = rng.random(encoder.num_params)
+        try:
+            mappings.append(encoder.decode(vector))
+        except InvalidMappingError:
+            continue
+    return mappings
+
+
+def _best_of(rounds, fn):
+    elapsed = math.inf
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = min(elapsed, time.perf_counter() - start)
+    return result, elapsed
+
+
+def test_batch_vs_scalar_scaling():
+    """``evaluate_batch`` ≡ scalar loop, and it earns its keep.
+
+    Writes ``cost_batch_scaling.txt`` with the per-batch-size speedup;
+    the B=64 row also feeds the combined ``cost_model_perf.txt``. The
+    assertion bar is deliberately modest (>= 1.5x at B=64) — measured
+    speedups sit well above it, but CI boxes vary.
+    """
+    model = CostModel()
+    accel = baseline_preset("eyeriss")
+    layer = build_model("mobilenet_v2").layers[5]
+
+    lines = [
+        "batch-vs-scalar cost evaluation "
+        "(mobilenet_v2 layer 5, eyeriss preset)",
+        f"{'size':>6}  {'scalar':>10}  {'batch':>10}  {'speedup':>8}",
+    ]
+    speedups = {}
+    for size in (16, 64, 256):
+        mappings = _decode_population(layer, accel, size)
+        scalar, scalar_time = _best_of(3, lambda: [
+            model.evaluate(layer, accel, m) for m in mappings])
+        batch, batch_time = _best_of(3, lambda: model.evaluate_batch(
+            layer, accel, mappings))
+        # The batch surface's contract: same objects, same floats.
+        assert [c.cycles for c in batch] == [c.cycles for c in scalar]
+        assert [c.energy_nj for c in batch] == [c.energy_nj for c in scalar]
+        speedup = scalar_time / batch_time if batch_time else float("inf")
+        speedups[size] = speedup
+        lines.append(f"{size:>6}  {scalar_time:>9.4f}s  "
+                     f"{batch_time:>9.4f}s  {speedup:>7.2f}x")
+        if size == 64:
+            _record("scalar loop (B=64)", scalar_time)
+            _record("evaluate_batch (B=64)", batch_time)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "cost_batch_scaling.txt").write_text(
+        "\n".join(lines) + "\n")
+    print("\n" + "\n".join(lines))
+
+    assert speedups[64] >= 1.5
+
+
+def test_write_results_file():
+    """Runs last in the module: flush every recorded row to disk."""
+    assert _ROWS, "benchmark tests must run before the results writer"
+    width = max(len(name) for name in _ROWS)
+    lines = ["cost-model microbenchmarks (seconds per call, mean)"]
+    for name, seconds in _ROWS.items():
+        lines.append(f"{name:<{width}} : {seconds:.6e} s")
+    if "scalar loop (B=64)" in _ROWS and "evaluate_batch (B=64)" in _ROWS:
+        ratio = _ROWS["scalar loop (B=64)"] / _ROWS["evaluate_batch (B=64)"]
+        lines.append(f"{'batch-vs-scalar speedup (B=64)':<{width}} : "
+                     f"{ratio:.2f}x")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "cost_model_perf.txt").write_text("\n".join(lines) + "\n")

@@ -29,6 +29,7 @@ Two comparisons:
 from __future__ import annotations
 
 import math
+import os
 import time
 from pathlib import Path
 
@@ -43,15 +44,18 @@ from repro.search.parallel import (
     SteadyStateEvaluator,
     run_steady_loop,
 )
+from repro.search.transport import LocalTransport
 from repro.tensors.layer import ConvLayer
 from repro.tensors.network import Network
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
-#: Mid-size budget: enough mapping searches per generation for the
-#: fan-out to amortize process overhead, small enough for CI.
+#: Mid-size budget: enough mapping-search work per candidate for the
+#: fan-out to amortize dispatch overhead (the vectorized cost batch
+#: makes each generation one numpy pass, so the per-candidate task is
+#: real compute, not interpreter overhead), small enough for CI.
 BUDGET = NAASBudget(accel_population=8, accel_iterations=3,
-                    mapping=MappingSearchBudget(population=6, iterations=3))
+                    mapping=MappingSearchBudget(population=24, iterations=5))
 
 NETWORK = Network(name="bench", layers=(
     ConvLayer(name="stem", k=32, c=16, y=28, x=28, r=3, s=3),
@@ -60,44 +64,90 @@ NETWORK = Network(name="bench", layers=(
 ))
 
 
-def _run(workers: int):
+def _noop(payload, cache):
+    return payload
+
+
+def _warmed_transport(workers: int) -> LocalTransport:
+    """A LocalTransport whose worker processes already exist.
+
+    Process spawn is a fixed cost both schedule benchmarks below already
+    exclude; excluding it here too makes the serial/parallel comparison
+    measure the execution layer, not fork latency.
+    """
+    transport = LocalTransport(workers)
+    assert transport.available()
+    for future in [transport.submit(_noop, [index], None)
+                   for index in range(workers)]:
+        future.result(timeout=60.0)
+    return transport
+
+
+def _run(workers: int, transport=None):
     start = time.perf_counter()
     result = search_accelerator(
         [NETWORK], baseline_constraint("nvdla_256"), CostModel(),
-        budget=BUDGET, seed=0, workers=workers)
+        budget=BUDGET, seed=0, workers=workers,
+        transport=transport if transport is not None else "local")
     return result, time.perf_counter() - start
 
 
 def test_parallel_scaling(benchmark):
+    # Best-of-2 on both sides: a single measurement at this ~1 s scale
+    # is at the mercy of whatever else the CI box is doing (the same
+    # tolerance the schedule benchmarks below apply).
     serial, serial_time = _run(workers=1)
+    serial_time = min(serial_time, _run(workers=1)[1])
 
+    transport = _warmed_transport(2)
     result_box = {}
 
     def target():
-        result_box["outcome"] = _run(workers=2)
+        result_box["outcome"] = _run(workers=2, transport=transport)
         return result_box["outcome"]
 
-    benchmark.pedantic(target, rounds=1, iterations=1)
-    parallel, parallel_time = result_box["outcome"]
+    try:
+        benchmark.pedantic(target, rounds=2, iterations=1)
+    finally:
+        transport.close()
+    parallel, _last_time = result_box["outcome"]
+    parallel_time = benchmark.stats.stats.min
 
-    # Determinism contract: the worker count must never change results.
+    # Determinism contract: the worker count must never change results
+    # (cost-aware grouping only repartitions dispatches, so it is active
+    # here and must not break this either).
     assert parallel.best_reward == serial.best_reward
     assert parallel.best_config == serial.best_config
     assert parallel.history == serial.history
 
     speedup = serial_time / parallel_time if parallel_time else float("inf")
+    cores = os.cpu_count() or 1
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "parallel_scaling.txt").write_text(
         f"serial (workers=1) : {serial_time:8.3f} s\n"
         f"parallel (workers=2): {parallel_time:8.3f} s\n"
         f"speedup             : {speedup:8.2f}x\n"
-        f"best reward         : {serial.best_reward:.6e}\n")
+        f"best reward         : {serial.best_reward:.6e}\n"
+        f"cpu cores           : {cores}\n"
+        f"notes               : batched schedule, pre-warmed pool, "
+        f"cost-aware grouping on"
+        f"{'' if cores >= 2 else '; single-core box, overhead bound only'}"
+        f"\n")
     print(f"\nserial {serial_time:.3f}s  parallel {parallel_time:.3f}s  "
-          f"speedup {speedup:.2f}x")
+          f"speedup {speedup:.2f}x on {cores} core(s)")
 
-    # Loose bound: even with one core and snapshot pickling, the fan-out
-    # must not blow up the generation wall-clock.
-    assert parallel_time < serial_time * 3.0
+    if cores >= 2:
+        # The tentpole bar: with the vectorized cost batch carrying the
+        # per-candidate compute and grouping amortizing dispatch
+        # overhead, two workers must actually beat the serial path.
+        assert speedup >= 1.5
+    else:
+        # One core: two compute-bound workers cannot beat serial, so the
+        # bar becomes "dispatch is nearly free" — at most 25% over
+        # serial, measurement noise included (the seed ran at 0.58x
+        # speedup, i.e. 72% overhead; grouping + the warmed pool remove
+        # it — quiet boxes measure ~1.0x).
+        assert parallel_time < serial_time * 1.25
 
 
 #: Simulated per-candidate evaluation costs (seconds) with the skew the
@@ -130,8 +180,11 @@ def _timed_schedule(evaluator_cls, rounds: int = 2):
     whatever else the CI box is doing; taking the minimum of a couple of
     rounds measures the schedule, not the machine's worst moment.
     """
-    with evaluator_cls(_simulated_evaluation,
-                       workers=_ASYNC_WORKERS) as evaluator:
+    # group_target_seconds=0 pins both schedules to their native
+    # partitioning (chunks vs singletons): this benchmark isolates the
+    # *scheduling policy*, which cost-aware grouping would re-blend.
+    with evaluator_cls(_simulated_evaluation, workers=_ASYNC_WORKERS,
+                       group_target_seconds=0.0) as evaluator:
         # Warm the pool first so process spawn cost is not attributed to
         # either schedule.
         evaluator.evaluate([0.0] * _ASYNC_WORKERS)
@@ -198,8 +251,8 @@ class _ScriptedSteadyLoop(SteadyLoop):
 
 def _timed_async_generations(rounds: int = 2):
     """Best-of-``rounds`` wall-clock for async with per-gen barriers."""
-    with AsyncEvaluator(_simulated_evaluation,
-                       workers=_STEADY_WORKERS) as evaluator:
+    with AsyncEvaluator(_simulated_evaluation, workers=_STEADY_WORKERS,
+                        group_target_seconds=0.0) as evaluator:
         evaluator.evaluate([0.0] * _STEADY_WORKERS)  # warm the pool
         elapsed = math.inf
         for _ in range(rounds):
@@ -214,8 +267,11 @@ def _timed_steady_stream(rounds: int = 2):
     """Best-of-``rounds`` wall-clock for the barrier-free steady driver."""
     flat = [cost for generation in _STEADY_GENERATIONS
             for cost in generation]
+    # Grouping pinned off for the same reason as the async/batched
+    # comparison: the measured gap is the barrier policy, nothing else.
     with SteadyStateEvaluator(_simulated_evaluation,
-                              workers=_STEADY_WORKERS) as evaluator:
+                              workers=_STEADY_WORKERS,
+                              group_target_seconds=0.0) as evaluator:
         evaluator.evaluate([0.0] * _STEADY_WORKERS)  # warm the pool
         elapsed = math.inf
         for _ in range(rounds):

@@ -319,6 +319,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"shards             : {stats.shards}")
         print(f"records            : {stats.records}")
         print(f"total bytes        : {stats.total_bytes}")
+        print(f"compressed records : {stats.compressed_records} "
+              f"({stats.compressed_bytes} bytes zlib)")
         print(f"corrupt-tail skips : {stats.corrupt_tails}")
         return 0
     if args.action == "compact":

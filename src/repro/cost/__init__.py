@@ -14,10 +14,18 @@ combined with spatial multicast/reduction factors from the array's
 parallel dimensions. Absolute joules/cycles are calibrated to
 Eyeriss/Accelergy-style per-access energies; the search only consumes
 *relative* orderings, which is what the analysis preserves.
+
+Two equivalent surfaces exist: scalar ``CostModel.evaluate`` (the
+reference implementation) and ``CostModel.evaluate_batch``, which runs
+the traffic/reuse analysis for a whole candidate generation as stacked
+numpy ops (:mod:`repro.cost.batch`) while producing bit-identical
+``LayerCost`` values.
 """
 
+from repro.cost.batch import analyze_traffic_batch
 from repro.cost.config import CostParams
 from repro.cost.model import CostModel
 from repro.cost.report import LayerCost, NetworkCost
 
-__all__ = ["CostModel", "CostParams", "LayerCost", "NetworkCost"]
+__all__ = ["CostModel", "CostParams", "LayerCost", "NetworkCost",
+           "analyze_traffic_batch"]

@@ -1,0 +1,311 @@
+"""Vectorized batch counterpart of the traffic/reuse hot path.
+
+The scalar pipeline in :mod:`repro.cost.reuse` / :mod:`repro.cost.traffic`
+evaluates one ``(layer, accel, mapping)`` triple per call, which makes the
+mapping search pay Python interpreter overhead per candidate. This module
+computes a whole candidate generation at once: tile vectors and loop
+orders are stacked into ``(B, 7)`` / ``(B, 6)`` integer tensors and every
+step of the analysis runs as one numpy op across all ``B`` lanes.
+
+The scalar functions remain the reference implementation. The batch path
+is required to be *exactly* equal — every ``LayerCost`` float matches to
+the last bit — so each expression below mirrors the scalar code's
+association order and int-vs-float promotion points:
+
+- accumulations use ``total + (new_fp - fp)``, never ``(total - fp) +
+  new_fp``, because float addition is not associative;
+- values the scalar code keeps as Python ints (deliveries, trip products,
+  psum byte counts) stay ``int64`` here and convert to float at the same
+  expression position the scalar code does;
+- the reuse growth loop's early exit per operand becomes a per-lane
+  ``active`` mask, and the data-dependent ``window_start`` becomes a
+  prefix-product gather.
+
+Latency and energy are a handful of flops per lane, so the batch
+evaluator reuses the scalar :func:`repro.cost.latency.analyze_latency`
+and :func:`repro.cost.energy.analyze_energy` on the per-lane
+``TrafficReport``s — parity there is structural, not re-derived.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.accelerator.arch import AcceleratorConfig
+from repro.cost.config import CostParams
+from repro.cost.operands import (
+    OPERANDS,
+    Operand,
+    element_bytes,
+    footprint_elements_idx_batch,
+    relevance_masks,
+    relevant_dims,
+    total_elements,
+)
+from repro.cost.reuse import GROW_ORDER
+from repro.cost.traffic import TrafficReport
+from repro.mapping.mapping import Mapping
+from repro.tensors.dims import DIM_INDEX, REDUCTION_DIMS, Dim
+from repro.tensors.layer import ConvLayer
+
+#: Memoized loop-order -> dim-index tuples (at most 720 six-dim orders).
+_ORDER_IDX: Dict[Tuple[Dim, ...], Tuple[int, ...]] = {}
+
+
+def _order_indices(order: Tuple[Dim, ...]) -> Tuple[int, ...]:
+    cached = _ORDER_IDX.get(order)
+    if cached is None:
+        cached = tuple(DIM_INDEX[d] for d in order)
+        _ORDER_IDX[order] = cached
+    return cached
+
+
+class _WindowArrays:
+    """Per-operand reuse-window results across all lanes."""
+
+    __slots__ = ("footprint_bytes", "deliveries")
+
+    def __init__(self, footprint_bytes: np.ndarray,
+                 deliveries: np.ndarray) -> None:
+        self.footprint_bytes = footprint_bytes  # (B,) float64
+        self.deliveries = deliveries            # (B,) int64
+
+
+def _reuse_windows_batch(layer: ConvLayer,
+                         loop_dims: np.ndarray,
+                         loop_trips: np.ndarray,
+                         base_extents: np.ndarray,
+                         caps: np.ndarray,
+                         budget_bytes: float,
+                         psum_bytes: int,
+                         ) -> Tuple[Dict[Operand, _WindowArrays],
+                                    np.ndarray, np.ndarray]:
+    """Vectorized :func:`repro.cost.reuse.analyze_reuse` over B lanes.
+
+    ``loop_dims``/``loop_trips`` are ``(B, L)`` outermost-first;
+    ``base_extents``/``caps`` are ``(7,)`` or ``(B, 7)``. Returns
+    ``(windows, base_feasible, base_total)``; window values for lanes
+    with ``base_feasible == False`` are unspecified (the scalar path
+    returns early there and callers must ignore them).
+    """
+    count, length = loop_dims.shape
+    rows = np.arange(count)
+    masks = relevance_masks(layer)
+    bytes_per = {op: element_bytes(layer, op, psum_bytes) for op in OPERANDS}
+    mask_cols = {op: np.asarray(masks[op], dtype=bool) for op in OPERANDS}
+
+    caps2 = caps if caps.ndim == 2 else np.broadcast_to(caps, (count, 7))
+    start = np.minimum(base_extents, caps)
+    if start.ndim == 1:
+        start = np.broadcast_to(start, (count, 7))
+
+    extents: Dict[Operand, np.ndarray] = {}
+    footprints: Dict[Operand, np.ndarray] = {}
+    total = np.zeros(count)
+    for op in OPERANDS:
+        ext = np.array(start)  # writable per-operand copy
+        extents[op] = ext
+        fp = footprint_elements_idx_batch(layer, op, ext) * bytes_per[op]
+        footprints[op] = fp
+        total = total + fp
+    base_total = total.copy()
+    base_feasible = total <= budget_bytes
+
+    active = {op: np.ones(count, dtype=bool) for op in OPERANDS}
+    window_start = {op: np.zeros(count, dtype=np.int64) for op in OPERANDS}
+
+    for position in range(length - 1, -1, -1):
+        dim_idx = loop_dims[:, position]
+        trips = loop_trips[:, position]
+        multi = trips > 1
+        if not multi.any():
+            continue
+        cap_here = caps2[rows, dim_idx]
+        for op in GROW_ORDER:
+            grow = multi & active[op] & mask_cols[op][dim_idx]
+            if not grow.any():
+                continue
+            ext = extents[op]
+            old = ext[rows, dim_idx]
+            grown = np.minimum(cap_here, old * trips)
+            ext[rows, dim_idx] = np.where(grow, grown, old)
+            new_fp = (footprint_elements_idx_batch(layer, op, ext)
+                      * bytes_per[op])
+            accept = grow & (total - footprints[op] + new_fp <= budget_bytes)
+            reject = grow & ~accept
+            total = np.where(accept, total + (new_fp - footprints[op]), total)
+            footprints[op] = np.where(accept, new_fp, footprints[op])
+            ext[rows, dim_idx] = np.where(accept, grown, old)
+            active[op] &= ~reject
+            window_start[op] = np.where(reject, position + 1,
+                                        window_start[op])
+
+    # outside_trips = product of trips of loops outside the window; the
+    # scalar loop becomes a prefix-product gather at window_start.
+    prefix = np.ones((count, length + 1), dtype=np.int64)
+    np.cumprod(loop_trips, axis=1, out=prefix[:, 1:])
+    windows: Dict[Operand, _WindowArrays] = {}
+    for op in OPERANDS:
+        outside = prefix[rows, window_start[op]]
+        elems = footprint_elements_idx_batch(layer, op, extents[op])
+        windows[op] = _WindowArrays(footprint_bytes=footprints[op],
+                                    deliveries=elems * outside)
+    return windows, base_feasible, base_total
+
+
+def analyze_traffic_batch(layer: ConvLayer, accel: AcceleratorConfig,
+                          mappings: Sequence[Mapping], params: CostParams,
+                          ) -> List[TrafficReport]:
+    """Batch :func:`repro.cost.traffic.analyze_traffic`: one report per
+    mapping, each exactly equal to the scalar analysis of that mapping."""
+    count = len(mappings)
+    if count == 0:
+        return []
+    sizes = np.asarray(layer.sizes7, dtype=np.int64)
+    bpe = layer.bytes_per_element
+    psum = params.psum_bytes
+
+    tiles_raw = np.array([[size for _, size in m.tiles] for m in mappings],
+                         dtype=np.int64)
+    tiles7 = np.ones((count, 7), dtype=np.int64)
+    tiles7[:, 1:] = np.minimum(tiles_raw, sizes[1:])
+
+    # ---- Array level: DRAM <-> L2, tile-granular --------------------------
+    outer_trips = -(-sizes // tiles7)
+    array_dims_idx = np.array([_order_indices(m.array_order)
+                               for m in mappings], dtype=np.int64)
+    loop_dims = np.zeros((count, 7), dtype=np.int64)
+    loop_dims[:, 1:] = array_dims_idx
+    loop_trips = np.empty((count, 7), dtype=np.int64)
+    loop_trips[:, 0] = layer.n
+    loop_trips[:, 1:] = np.take_along_axis(outer_trips, array_dims_idx,
+                                           axis=1)
+    l2_budget = accel.l2_bytes * (1.0 - params.double_buffer_fraction)
+    array_windows, array_ok, array_base = _reuse_windows_batch(
+        layer, loop_dims, loop_trips, tiles7, sizes, l2_budget, psum)
+
+    # ---- PE level: L2 <-> PE, element-granular -----------------------------
+    axis_dims_idx = [DIM_INDEX[dim] for dim in accel.parallel_dims]
+    effs = [np.minimum(size, tiles7[:, idx])
+            for idx, size in zip(axis_dims_idx, accel.array_dims)]
+    mid_trips = tiles7.copy()
+    mid_trips[:, 0] = 1
+    for idx, eff in zip(axis_dims_idx, effs):
+        mid_trips[:, idx] = -(-tiles7[:, idx] // eff)
+    pe_dims_idx = np.array([_order_indices(m.pe_order) for m in mappings],
+                           dtype=np.int64)
+    pe_trips = np.take_along_axis(mid_trips, pe_dims_idx, axis=1)
+    pe_windows, pe_ok, pe_base = _reuse_windows_batch(
+        layer, pe_dims_idx, pe_trips, np.ones(7, dtype=np.int64), mid_trips,
+        float(accel.l1_bytes), psum)
+
+    dram_read = np.zeros(count)
+    for op in (Operand.WEIGHT, Operand.INPUT):
+        deliveries = np.maximum(array_windows[op].deliveries,
+                                total_elements(layer, op))
+        dram_read = dram_read + deliveries * bpe
+    out_deliveries = np.maximum(array_windows[Operand.OUTPUT].deliveries,
+                                total_elements(layer, Operand.OUTPUT))
+    out_distinct = total_elements(layer, Operand.OUTPUT)
+    out_revisits = np.maximum(0, out_deliveries - out_distinct)
+    dram_write = out_distinct * bpe + out_revisits * psum
+    dram_rmw_read = out_revisits * psum
+    dram_read = dram_read + dram_rmw_read
+
+    tiles_count = layer.n * np.prod(outer_trips[:, 1:], axis=1)
+    steps_per_tile = np.prod(mid_trips[:, 1:], axis=1)
+    active_pes = np.ones(count, dtype=np.int64)
+    for eff in effs:
+        active_pes = active_pes * eff
+
+    l2_read = np.zeros(count)
+    noc = np.zeros(count)
+    forwarded = np.zeros(count)
+    for op in (Operand.WEIGHT, Operand.INPUT):
+        per_pe = pe_windows[op].deliveries
+        unique_factor = np.ones(count)
+        forward_discount = np.ones(count)
+        op_relevance = relevant_dims(layer, op)
+        for dim, eff in zip(accel.parallel_dims, effs):
+            if dim not in op_relevance:
+                continue
+            unique_factor = unique_factor * eff
+            if op is Operand.INPUT and dim in (Dim.Y, Dim.X):
+                kernel = layer.r if dim is Dim.Y else layer.s
+                forward_discount = forward_discount * np.minimum(
+                    eff, max(1, kernel // layer.stride))
+        unique = per_pe * unique_factor * tiles_count * bpe
+        kept = unique / forward_discount
+        l2_read = l2_read + kept
+        forwarded = forwarded + (unique - kept)
+        noc = noc + unique
+
+    out_relevance = relevant_dims(layer, Operand.OUTPUT)
+    out_factor = np.ones(count, dtype=np.int64)
+    for dim, eff in zip(accel.parallel_dims, effs):
+        if dim in out_relevance:
+            out_factor = out_factor * eff
+    per_pe_out = pe_windows[Operand.OUTPUT].deliveries
+    unique_out = per_pe_out * out_factor * tiles_count
+    tile_outputs = (tiles7[:, DIM_INDEX[Dim.K]] * tiles7[:, DIM_INDEX[Dim.Y]]
+                    * tiles7[:, DIM_INDEX[Dim.X]])
+    l2_psum_write = unique_out * psum
+    # Scalar code takes max(0.0, int); keeping the int64 product here and
+    # promoting at the addition below reproduces its rounding exactly.
+    l2_psum_read = np.maximum(0, unique_out - tile_outputs * tiles_count) \
+        * psum
+    noc = noc + unique_out * psum
+
+    reduction_span = np.ones(count, dtype=np.int64)
+    for dim, eff in zip(accel.parallel_dims, effs):
+        if dim in REDUCTION_DIMS:
+            reduction_span = reduction_span * eff
+    merges_per_step = active_pes - active_pes / np.maximum(1, reduction_span)
+    reduction_bytes = merges_per_step * steps_per_tile * tiles_count * psum
+
+    l2_write = l2_psum_write + dram_read
+    l2_read_total = l2_read + l2_psum_read + dram_write
+
+    per_pe_fills = (pe_windows[Operand.WEIGHT].deliveries
+                    + pe_windows[Operand.INPUT].deliveries) * bpe
+    l1_fill = per_pe_fills * active_pes * tiles_count
+    l1_compute = layer.macs * (2 * bpe + 2 * psum)
+    l1_total = l1_fill + l1_compute
+
+    first_fill = (array_windows[Operand.WEIGHT].footprint_bytes
+                  + array_windows[Operand.INPUT].footprint_bytes)
+
+    l1_budget = float(accel.l1_bytes)
+    reports: List[TrafficReport] = []
+    for i in range(count):
+        if not array_ok[i]:
+            reports.append(TrafficReport(
+                feasible=False,
+                reasons=(f"L2 overflow: base footprint {array_base[i]:.0f} B "
+                         f"exceeds budget {l2_budget:.0f} B",)))
+            continue
+        if not pe_ok[i]:
+            reports.append(TrafficReport(
+                feasible=False,
+                reasons=(f"L1 overflow: base footprint {pe_base[i]:.0f} B "
+                         f"exceeds budget {l1_budget:.0f} B",)))
+            continue
+        reports.append(TrafficReport(
+            feasible=True,
+            reasons=(),
+            dram_read_bytes=float(dram_read[i]),
+            dram_write_bytes=float(dram_write[i]),
+            l2_read_bytes=float(l2_read_total[i]),
+            l2_write_bytes=float(l2_write[i]),
+            noc_bytes=float(noc[i]),
+            forwarded_bytes=float(forwarded[i]),
+            reduction_bytes=float(reduction_bytes[i]),
+            l1_bytes=float(l1_total[i]),
+            tiles_count=int(tiles_count[i]),
+            steps_per_tile=int(steps_per_tile[i]),
+            active_pes=int(active_pes[i]),
+            first_tile_fill_bytes=float(first_fill[i]),
+        ))
+    return reports

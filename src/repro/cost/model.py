@@ -7,10 +7,11 @@ sit inside a three-level evolutionary search.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from repro.accelerator.arch import AcceleratorConfig
 from repro.accelerator.validation import validate_architecture
+from repro.cost.batch import analyze_traffic_batch
 from repro.cost.config import DEFAULT_PARAMS, CostParams
 from repro.cost.energy import analyze_energy
 from repro.cost.latency import analyze_latency
@@ -57,6 +58,66 @@ class CostModel:
             latency=latency,
             energy=energy,
         )
+
+    def evaluate_batch(self, layer: ConvLayer, accel: AcceleratorConfig,
+                       mappings: Sequence[Mapping]) -> List[LayerCost]:
+        """Cost of one layer under many mappings, in one vectorized pass.
+
+        Equivalent to ``[self.evaluate(layer, accel, m) for m in
+        mappings]`` to full float equality (the scalar path is the
+        reference implementation), but the traffic/reuse analysis — the
+        hot part — runs as numpy ops across the whole batch.
+        """
+        mappings = list(mappings)
+        if not mappings:
+            return []
+        if type(self).evaluate is not CostModel.evaluate:
+            # A subclass customized the scalar path (test doubles, cost
+            # shaping); the batch surface must honor its overrides, so
+            # the vectorized kernels only run for the stock evaluate.
+            return [self.evaluate(layer, accel, mapping)
+                    for mapping in mappings]
+        problems = validate_architecture(accel)
+        if problems:
+            invalid = LayerCost.invalid(layer.name, tuple(problems))
+            return [invalid for _ in mappings]
+
+        results: List[LayerCost] = [None] * len(mappings)  # type: ignore
+        lanes: List[int] = []
+        lane_mappings: List[Mapping] = []
+        for index, mapping in enumerate(mappings):
+            if mapping.legal_for(layer):
+                lanes.append(index)
+                lane_mappings.append(mapping)
+            else:
+                results[index] = LayerCost.invalid(
+                    layer.name, ("mapping tiles exceed layer dimensions",))
+
+        reports = analyze_traffic_batch(layer, accel, lane_mappings,
+                                        self.params)
+        for index, traffic in zip(lanes, reports):
+            if not traffic.feasible:
+                results[index] = LayerCost.invalid(layer.name,
+                                                   traffic.reasons)
+                continue
+            latency = analyze_latency(accel, traffic, self.params)
+            cycles = latency.cycles
+            energy = analyze_energy(layer, accel, traffic, cycles,
+                                    self.params)
+            utilization = layer.macs / max(
+                1.0, latency.compute_cycles * accel.num_pes)
+            results[index] = LayerCost(
+                layer_name=layer.name,
+                valid=True,
+                cycles=cycles,
+                energy_nj=energy.total_nj,
+                utilization=min(1.0, utilization),
+                macs=layer.macs,
+                traffic=traffic,
+                latency=latency,
+                energy=energy,
+            )
+        return results
 
     def evaluate_network(self, network: Network, accel: AcceleratorConfig,
                          mapping_for: Callable[[ConvLayer], Mapping],

@@ -22,18 +22,18 @@ contributors first) rather than rejected, preserving sample efficiency.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.accelerator.arch import AcceleratorConfig
-from repro.cost.operands import tile_set_bytes
+from repro.cost.operands import tile_set_bytes, tile_set_bytes_batch
 from repro.encoding.importance import ranked_dims
 from repro.encoding.index import decode_order_scalar
 from repro.encoding.spaces import EncodingStyle
 from repro.errors import EncodingError
 from repro.mapping.mapping import Mapping
-from repro.mapping.tiling import shrink_to_budget
+from repro.mapping.tiling import shrink_to_budget, shrink_to_budget_batch
 from repro.tensors.dims import SEARCHED_DIMS, Dim
 from repro.tensors.layer import ConvLayer
 
@@ -42,9 +42,18 @@ PSUM_BYTES = 4
 
 _NUM_DIMS = len(SEARCHED_DIMS)
 
+#: Vectors whose entries exceed this take the scalar decode path: beyond
+#: it ``rint(ratio * size)`` may not fit int64, which the numpy tile
+#: legalization needs (optimizers keep vectors in [0, 1] anyway).
+_BATCH_SAFE_MAGNITUDE = 1e12
+
 
 def _tile_footprint(layer: ConvLayer, tiles: Dict[Dim, int]) -> float:
     return tile_set_bytes(layer, tiles, PSUM_BYTES)
+
+
+def _tile_footprint_batch(layer: ConvLayer, tiles: np.ndarray) -> np.ndarray:
+    return tile_set_bytes_batch(layer, tiles, PSUM_BYTES)
 
 
 class MappingEncoder:
@@ -81,6 +90,79 @@ class MappingEncoder:
         tiles = self._decode_tiles(ratios)
         return Mapping.create(array_order=array_order, pe_order=pe_order,
                               tiles=tiles)
+
+    def decode_batch(self, vectors: Sequence[Sequence[float]],
+                     ) -> List[Optional[Mapping]]:
+        """Decode a whole generation at once; slot ``i`` holds exactly
+        ``decode(vectors[i])``, or ``None`` where decode would raise
+        :class:`EncodingError` (per-vector failures don't break the
+        batch — the search scores them ``inf``).
+
+        Tile legalization — the expensive part of decoding — runs
+        vectorized across all lanes (:func:`shrink_to_budget_batch`);
+        loop orders decode per lane through the scalar helpers, so the
+        produced mappings are identical to the scalar path's.
+        """
+        vectors = list(vectors)
+        results: List[Optional[Mapping]] = [None] * len(vectors)
+        fast_lanes: List[int] = []
+        stacked: List[np.ndarray] = []
+        for index, vector in enumerate(vectors):
+            vec = np.asarray(vector, dtype=float)
+            if (vec.shape == (self.num_params,) and np.isfinite(vec).all()
+                    and (np.abs(vec) < _BATCH_SAFE_MAGNITUDE).all()):
+                fast_lanes.append(index)
+                stacked.append(vec)
+
+        tiles_rows = converged = None
+        if stacked:
+            matrix = np.stack(stacked)
+            if self.style is EncodingStyle.IMPORTANCE:
+                ratio_cols = matrix[:, _NUM_DIMS:2 * _NUM_DIMS]
+            else:
+                ratio_cols = matrix[:, 1:1 + _NUM_DIMS]
+            tiles_rows, converged = self._decode_tiles_batch(ratio_cols)
+
+        fast = set(fast_lanes)
+        for slot, index in enumerate(fast_lanes):
+            if not converged[slot]:
+                # Reproduce the scalar path's InvalidMappingError exactly.
+                results[index] = self.decode(vectors[index])
+                continue
+            vec = stacked[slot]
+            if self.style is EncodingStyle.IMPORTANCE:
+                array_order = ranked_dims(list(vec[0:_NUM_DIMS]))
+                pe_order = ranked_dims(
+                    list(vec[2 * _NUM_DIMS:3 * _NUM_DIMS]))
+            else:
+                array_order = decode_order_scalar(float(vec[0]))
+                pe_order = decode_order_scalar(float(vec[1 + _NUM_DIMS]))
+            tiles = {dim: int(tiles_rows[slot, i])
+                     for i, dim in enumerate(SEARCHED_DIMS)}
+            results[index] = Mapping.create(array_order=array_order,
+                                            pe_order=pe_order, tiles=tiles)
+        for index, vector in enumerate(vectors):
+            if index in fast:
+                continue
+            try:
+                results[index] = self.decode(vector)
+            except EncodingError:
+                results[index] = None
+        return results
+
+    def _decode_tiles_batch(self, ratios: np.ndarray):
+        sizes = np.array([self.layer.dim_size(dim) for dim in SEARCHED_DIMS],
+                         dtype=np.int64)
+        raw = np.rint(ratios * sizes).astype(np.int64)
+        tiles = np.maximum(1, np.minimum(sizes, raw))
+        for dim, axis in zip(self.accel.parallel_dims, self.accel.array_dims):
+            col = SEARCHED_DIMS.index(dim)
+            size = int(sizes[col])
+            tiles[:, col] = np.minimum(
+                size, np.maximum(tiles[:, col], min(axis, size)))
+        return shrink_to_budget_batch(self.layer, tiles,
+                                      _tile_footprint_batch,
+                                      self.accel.l2_bytes)
 
     def _decode_tiles(self, ratios: Sequence[float]) -> Dict[Dim, int]:
         tiles: Dict[Dim, int] = {}

@@ -34,8 +34,13 @@ Storage layout
 --------------
 A cache directory holds append-only shard files, one per writing
 process (``shard-<pid>-<token>.bin``), so concurrent runs never contend
-on a file. Each record is ``magic | digest | length | crc32 | pickle``;
-readers scan every shard at open (and on :meth:`DiskCacheStore.refresh`)
+on a file. Each record is ``magic | digest | length | crc32 | payload``
+where the magic names the payload encoding: ``NAC1`` is a raw pickle,
+``NAC2`` a zlib-compressed pickle (writers pick whichever is smaller
+per record, so incompressible entries never grow; the length and crc
+always describe the stored bytes, so scans validate without
+decompressing). Readers scan every shard at open (and on
+:meth:`DiskCacheStore.refresh`)
 and stop a shard at the first incomplete or corrupt record — a torn
 tail from a crashed or still-writing process costs the entries behind
 it until the writer completes them, never an exception. Appends take an
@@ -75,9 +80,12 @@ try:  # POSIX only; shards are per-process so the lock is belt-and-braces
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
 
-_MAGIC = b"NAC1"
+_MAGIC_RAW = b"NAC1"   # payload is a raw pickle
+_MAGIC_ZLIB = b"NAC2"  # payload is a zlib-compressed pickle
 _DIGEST_BYTES = 32  # blake2b(digest_size=16) hex-encoded
-#: magic | digest (hex ascii) | payload length | payload crc32
+#: magic | digest (hex ascii) | stored-payload length | stored-payload
+#: crc32 (over the bytes on disk, compressed or not, so record scans
+#: never need to decompress)
 _HEADER = struct.Struct(f"<4s{_DIGEST_BYTES}sQI")
 
 #: (pid, token) naming this process's shard file. One shard per writing
@@ -105,8 +113,10 @@ def _next_record(handle) -> Tuple[str, Optional[Tuple[str, int]]]:
     and what the stats report can never diverge. Returns
     ``(status, entry)``:
 
-    - ``("ok", (digest, payload_length))`` — a clean record; the handle
-      is positioned just past its payload.
+    - ``("ok", (digest, payload_length, compressed))`` — a clean
+      record; the handle is positioned just past its payload.
+      ``compressed`` says whether the stored payload is zlib-wrapped
+      (``NAC2``) or a raw pickle (``NAC1``).
     - ``("end", None)`` — exactly at end of file.
     - ``("torn", None)`` — a truncated header or payload (a writer may
       still be appending; safe to retry after it finishes).
@@ -119,7 +129,7 @@ def _next_record(handle) -> Tuple[str, Optional[Tuple[str, int]]]:
     if len(header) < _HEADER.size:
         return "torn", None
     magic, digest_raw, length, crc = _HEADER.unpack(header)
-    if magic != _MAGIC:
+    if magic not in (_MAGIC_RAW, _MAGIC_ZLIB):
         return "corrupt", None
     payload = handle.read(length)
     if len(payload) < length:
@@ -129,7 +139,7 @@ def _next_record(handle) -> Tuple[str, Optional[Tuple[str, int]]]:
     # Digests are 32 hex chars; struct pads shorter (test-only) keys
     # with NULs, stripped here.
     digest = digest_raw.rstrip(b"\x00").decode("ascii", errors="replace")
-    return "ok", (digest, length)
+    return "ok", (digest, length, magic == _MAGIC_ZLIB)
 
 
 def content_digest(*parts: Any) -> str:
@@ -157,8 +167,9 @@ class DiskCacheStore:
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
-        #: digest -> (shard path, payload offset, payload length)
-        self._index: Dict[str, Tuple[str, int, int]] = {}
+        #: digest -> (shard path, payload offset, stored length,
+        #: compressed flag)
+        self._index: Dict[str, Tuple[str, int, int, bool]] = {}
         #: shard path -> bytes consumed by clean records
         self._scanned: Dict[str, int] = {}
         #: shards with a confirmed-corrupt record: scanned once, then
@@ -209,9 +220,10 @@ class DiskCacheStore:
                             "entries behind it are unreachable", shard,
                             offset)
                         break
-                    digest, length = entry
+                    digest, length, compressed = entry
                     self._index.setdefault(
-                        digest, (path, offset + _HEADER.size, length))
+                        digest,
+                        (path, offset + _HEADER.size, length, compressed))
                     offset += _HEADER.size + length
                     self._scanned[path] = offset
         except OSError as exc:
@@ -227,15 +239,18 @@ class DiskCacheStore:
         entry = self._index.get(digest)
         if entry is None:
             return False, None
-        path, offset, length = entry
+        path, offset, length, compressed = entry
         try:
             with open(path, "rb") as handle:
                 handle.seek(offset)
                 payload = handle.read(length)
             if len(payload) < length:
                 return False, None
+            if compressed:
+                payload = zlib.decompress(payload)
             return True, pickle.loads(payload)
-        except (OSError, pickle.PickleError, AttributeError, EOFError) as exc:
+        except (OSError, pickle.PickleError, AttributeError, EOFError,
+                zlib.error) as exc:
             logger.warning("unreadable cache entry %s (%s); recomputing",
                            digest, exc)
             return False, None
@@ -243,11 +258,22 @@ class DiskCacheStore:
     # ----- writing -----------------------------------------------------
 
     def put(self, digest: str, value: Any) -> None:
-        """Append one record to this process's shard (first write wins)."""
+        """Append one record to this process's shard (first write wins).
+
+        The payload is stored zlib-compressed (``NAC2``) when that is
+        actually smaller than the raw pickle, raw (``NAC1``) otherwise
+        — per record, so incompressible entries never pay for the
+        format.
+        """
         if digest in self._index:
             return
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        record = _HEADER.pack(_MAGIC, digest.encode("ascii"), len(payload),
+        squeezed = zlib.compress(payload)
+        compressed = len(squeezed) < len(payload)
+        if compressed:
+            payload = squeezed
+        magic = _MAGIC_ZLIB if compressed else _MAGIC_RAW
+        record = _HEADER.pack(magic, digest.encode("ascii"), len(payload),
                               zlib.crc32(payload)) + payload
         handle = self._ensure_write_handle()
         if fcntl is not None:
@@ -266,7 +292,8 @@ class DiskCacheStore:
         # (same process) may have interleaved records before ours, and
         # the scanner must not skip them.
         path = str(self._write_path)
-        self._index[digest] = (path, offset + _HEADER.size, len(payload))
+        self._index[digest] = (path, offset + _HEADER.size, len(payload),
+                               compressed)
 
     def _ensure_write_handle(self):
         if self._write_handle is None:
@@ -408,12 +435,19 @@ class DiskCacheDirStats:
     of the file — a torn record from a crashed (or still-running)
     writer, or an actually corrupt record. The entries behind such a
     tail are the ones :class:`DiskCacheStore` skips at read time.
+
+    ``compressed_records`` / ``compressed_bytes`` cover the ``NAC2``
+    (zlib) records; raw ``NAC1`` records make up the rest. Mixed
+    directories are normal — old caches stay readable, and writers fall
+    back to raw storage for incompressible payloads.
     """
 
     shards: int
     records: int
     total_bytes: int
     corrupt_tails: int
+    compressed_records: int = 0
+    compressed_bytes: int = 0
 
 
 def directory_stats(directory: Union[str, Path]) -> DiskCacheDirStats:
@@ -426,6 +460,7 @@ def directory_stats(directory: Union[str, Path]) -> DiskCacheDirStats:
     """
     path = Path(directory)
     shards = records = total_bytes = corrupt_tails = 0
+    compressed_records = compressed_bytes = 0
     for shard in sorted(path.glob("shard-*.bin")):
         try:
             size = shard.stat().st_size
@@ -436,18 +471,24 @@ def directory_stats(directory: Union[str, Path]) -> DiskCacheDirStats:
         try:
             with open(shard, "rb") as handle:
                 while True:
-                    status, _entry = _next_record(handle)
+                    status, entry = _next_record(handle)
                     if status == "end":
                         break
                     if status != "ok":  # torn or corrupt tail
                         corrupt_tails += 1
                         break
                     records += 1
+                    _digest, length, compressed = entry
+                    if compressed:
+                        compressed_records += 1
+                        compressed_bytes += length
         except OSError:
             corrupt_tails += 1
     return DiskCacheDirStats(shards=shards, records=records,
                              total_bytes=total_bytes,
-                             corrupt_tails=corrupt_tails)
+                             corrupt_tails=corrupt_tails,
+                             compressed_records=compressed_records,
+                             compressed_bytes=compressed_bytes)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -500,14 +541,19 @@ def compact_directory(directory: Union[str, Path]) -> CompactStats:
                             status, entry = _next_record(handle)
                             if status != "ok":
                                 break
-                            digest, length = entry
+                            digest, length, compressed = entry
                             if digest in seen:
                                 duplicates += 1
                                 continue
                             handle.seek(-length, os.SEEK_CUR)
                             payload = handle.read(length)
+                            # Payload bytes are copied verbatim, so the
+                            # record keeps the magic it was written
+                            # under (raw NAC1 vs zlib NAC2).
+                            magic = (_MAGIC_ZLIB if compressed
+                                     else _MAGIC_RAW)
                             out.write(_HEADER.pack(
-                                _MAGIC, digest.encode("ascii"), length,
+                                magic, digest.encode("ascii"), length,
                                 zlib.crc32(payload)) + payload)
                             seen.add(digest)
                             records_kept += 1

@@ -17,7 +17,6 @@ from repro.cost.model import CostModel
 from repro.cost.report import LayerCost
 from repro.encoding.mapping_enc import MappingEncoder
 from repro.encoding.spaces import EncodingStyle
-from repro.errors import EncodingError
 from repro.mapping.builders import dataflow_preserving_mapping
 from repro.mapping.mapping import Mapping
 from repro.search.es import EvolutionEngine
@@ -85,15 +84,19 @@ def search_mapping(layer: ConvLayer,
             vectors = head + engine.ask(budget.population - len(head))
         else:
             vectors = engine.ask(budget.population)
+        # Decode and evaluate the generation in one vectorized pass;
+        # per-vector decode failures score inf, exactly as the scalar
+        # loop's EncodingError handling did.
         fitnesses = []
         valid = 0
-        for vector in vectors:
-            try:
-                mapping = encoder.decode(vector)
-            except EncodingError:
+        mappings = encoder.decode_batch(vectors)
+        costs = iter(cost_model.evaluate_batch(
+            layer, accel, [m for m in mappings if m is not None]))
+        for mapping in mappings:
+            if mapping is None:
                 fitnesses.append(math.inf)
                 continue
-            cost = cost_model.evaluate(layer, accel, mapping)
+            cost = next(costs)
             evaluations += 1
             fitnesses.append(cost.edp)
             if cost.valid:

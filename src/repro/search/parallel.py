@@ -65,6 +65,18 @@ those searches run on:
   same submit/collect future contract. Remote workers never receive
   cache snapshots; they read through to their own disk shards and ship
   back ``(results, delta)`` like any pool worker would.
+- *How many* tasks one dispatch carries is cost-aware: a
+  :class:`GroupSizer` per evaluator measures per-task seconds from
+  completed groups (calibrated from the first completions,
+  EWMA-re-estimated as every later group lands) and sizes groups to hit
+  the transport's ``min_group_seconds`` of work per dispatch — cheap
+  tasks are batched many-per-group to amortize round-trip overhead,
+  expensive ones split fine so the pool can rebalance. Until the sizer
+  is calibrated every schedule partitions exactly as it historically
+  did (contiguous chunks / singletons / one-at-a-time). Grouping only
+  repartitions payloads across transport submissions; commit order and
+  content-derived seeds are partition-independent, so every bit-identity
+  contract below is unaffected.
 
 Determinism contract
 --------------------
@@ -103,6 +115,8 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import threading
+import time
 from concurrent.futures import FIRST_COMPLETED, Future, wait
 from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
@@ -187,6 +201,81 @@ def split_chunks(items: Sequence[Any], parts: int) -> List[List[Any]]:
         chunks.append(items[start:start + size])
         start += size
     return chunks
+
+
+#: Upper bound on cost-aware group size: past this, one lost task group
+#: forfeits too much salvageable work on a transport failure.
+_MAX_GROUP_TASKS = 256
+
+#: Completed tasks a sizer must observe before its estimate drives
+#: grouping; the first dispatches of a run always use the schedule's
+#: historical ungrouped partitioning.
+_CALIBRATION_MIN_TASKS = 8
+
+
+class GroupSizer:
+    """Measured per-task cost -> how many tasks one dispatch carries.
+
+    Dispatch overhead — submit/collect round trip, snapshot pickling,
+    frame encoding over TCP — is paid per *group*, so cheap tasks want
+    many per group and expensive tasks want few. The sizer learns
+    per-task seconds from completed groups (an EWMA with half the weight
+    on the newest sample, so the estimate re-tracks within a generation
+    as costs drift) and targets ``target_seconds`` of work per group.
+
+    Until calibrated (at least ``min_tasks`` tasks observed) — or with a
+    non-positive ``target_seconds``, which disables grouping outright —
+    :meth:`size` returns the caller's fallback, which every schedule
+    defines as its historical ungrouped partitioning. Observations are
+    recorded from future completion callbacks, hence the lock.
+    """
+
+    def __init__(self, target_seconds: float,
+                 max_group: int = _MAX_GROUP_TASKS,
+                 min_tasks: int = _CALIBRATION_MIN_TASKS) -> None:
+        self.target_seconds = float(target_seconds)
+        self.max_group = max_group
+        self.min_tasks = min_tasks
+        self._lock = threading.Lock()
+        self._per_task: Optional[float] = None
+        self._observed = 0
+
+    @property
+    def enabled(self) -> bool:
+        """False when grouping was disabled via ``target_seconds <= 0``."""
+        return self.target_seconds > 0.0
+
+    @property
+    def calibrated(self) -> bool:
+        """True once enough completions back the per-task estimate."""
+        with self._lock:
+            return (self.enabled and self._per_task is not None
+                    and self._observed >= self.min_tasks)
+
+    def observe(self, tasks: int, seconds: float) -> None:
+        """Fold one completed group of ``tasks`` taking ``seconds``."""
+        if not self.enabled or tasks <= 0 or seconds < 0.0:
+            return
+        sample = seconds / tasks
+        with self._lock:
+            self._observed += tasks
+            if self._per_task is None:
+                self._per_task = sample
+            else:
+                self._per_task = 0.5 * self._per_task + 0.5 * sample
+
+    def size(self, fallback: int) -> int:
+        """Tasks per group; ``fallback`` until calibrated."""
+        with self._lock:
+            ready = (self.enabled and self._per_task is not None
+                     and self._observed >= self.min_tasks)
+            per_task = self._per_task
+        if not ready:
+            return max(1, fallback)
+        if per_task <= 0.0:
+            return self.max_group
+        return max(1, min(self.max_group,
+                          int(round(self.target_seconds / per_task))))
 
 
 class CommitBuffer:
@@ -316,6 +405,7 @@ class _EvaluatorBase:
                  transport: Optional[Transport] = None,
                  eval_timeout: Optional[float] = None,
                  owns_transport: Optional[bool] = None,
+                 group_target_seconds: Optional[float] = None,
                  ) -> None:
         if eval_timeout is not None and eval_timeout <= 0:
             raise SearchError(
@@ -326,6 +416,7 @@ class _EvaluatorBase:
         self.shards = shards
         self.eval_timeout = eval_timeout
         self._plan = ShardPlan(shards)
+        scripted = transport is None and executor_factory is not None
         if transport is None:
             transport = LocalTransport(
                 self.workers, executor_factory=executor_factory)
@@ -337,6 +428,16 @@ class _EvaluatorBase:
         #: worker fleet across many sequential searches) outlives this
         #: evaluator; one it built itself does not.
         self._owns_transport = bool(owns_transport)
+        if group_target_seconds is None:
+            # A scripted executor pins completion order at task
+            # granularity and resolves futures synchronously, so
+            # wall-clock calibration is meaningless there: the seam
+            # keeps the ungrouped fallback unless a test opts in.
+            group_target_seconds = (
+                0.0 if scripted
+                else getattr(transport, "min_group_seconds", 0.05))
+        #: Cost-aware group sizing, calibrated from completed groups.
+        self._sizer = GroupSizer(group_target_seconds)
 
     # ----- public API ---------------------------------------------------
 
@@ -431,6 +532,31 @@ class _EvaluatorBase:
         """How this schedule partitions a slice into transport tasks."""
         raise NotImplementedError
 
+    def _submit_group(self, payloads: Sequence[Any],
+                      snapshot: Optional[EvaluationCache]) -> Future:
+        """Submit one task group, timing it to calibrate the sizer.
+
+        Only clean completions feed the estimate: a failed or cancelled
+        future measures the failure path, not the task cost.
+        """
+        future = self._transport.submit(self.worker_fn, payloads, snapshot)
+        started = time.monotonic()
+        count = len(payloads)
+
+        def observe(done: Future) -> None:
+            try:
+                clean = not done.cancelled() and done.exception() is None
+            except Exception:
+                return
+            if clean:
+                self._sizer.observe(count, time.monotonic() - started)
+
+        try:
+            future.add_done_callback(observe)
+        except Exception:
+            pass  # exotic future doubles without callbacks still work
+        return future
+
     def _dispatch(self, groups: List[List[Any]],
                   cache: Optional[EvaluationCache],
                   ) -> List[Tuple[List[Any], Optional[EvaluationCache]]]:
@@ -442,8 +568,7 @@ class _EvaluatorBase:
         submit_failure: Optional[BaseException] = None
         for group in groups:
             try:
-                futures.append(self._transport.submit(
-                    self.worker_fn, group, snapshot))
+                futures.append(self._submit_group(group, snapshot))
             except _DISPATCH_FAILURES as exc:
                 # Fork/spawn can also fail at submit time (seccomp,
                 # cgroup limits), not just at pool construction — and a
@@ -549,7 +674,16 @@ class ParallelEvaluator(_EvaluatorBase):
     """
 
     def _task_groups(self, payloads: List[Any]) -> List[List[Any]]:
-        return split_chunks(payloads, self._chunk_target())
+        parts = max(1, self._chunk_target())
+        chunk = -(-len(payloads) // parts)
+        size = self._sizer.size(fallback=chunk)
+        if size >= chunk:
+            return split_chunks(payloads, parts)
+        # Calibration says one chunk of these tasks overshoots the group
+        # target: split finer so the transport's queue can rebalance a
+        # chunk that drew the expensive candidates.
+        return [payloads[start:start + size]
+                for start in range(0, len(payloads), size)]
 
     def _land_completions(self, futures: List[Future],
                           buffer: CommitBuffer) -> Optional[BaseException]:
@@ -576,10 +710,24 @@ class AsyncEvaluator(_EvaluatorBase):
     landed (the commit boundary), so results — and everything the search
     loops derive from them — are bit-identical to the batched and serial
     schedules for any completion order.
+
+    Once the group sizer is calibrated and reports candidates cheap,
+    consecutive candidates share a future (amortizing the per-dispatch
+    snapshot pickle and round trip) — but never fewer futures than
+    worker slots, and the commit boundary keeps results identical to
+    the singleton partitioning.
     """
 
     def _task_groups(self, payloads: List[Any]) -> List[List[Any]]:
-        return [[payload] for payload in payloads]
+        size = self._sizer.size(fallback=1)
+        if size <= 1:
+            return [[payload] for payload in payloads]
+        # Cheap tasks amortize: several per future. Never fewer groups
+        # than worker slots, though — grouping must not idle the pool.
+        per_slot = -(-len(payloads) // max(1, self._chunk_target()))
+        size = max(1, min(size, per_slot))
+        return [payloads[start:start + size]
+                for start in range(0, len(payloads), size)]
 
     def _land_completions(self, futures: List[Future],
                           buffer: CommitBuffer) -> Optional[BaseException]:
@@ -618,8 +766,10 @@ class SteadyStateEvaluator(_EvaluatorBase):
 
     A fixed-size pool of candidates (``workers`` of them, the
     :attr:`capacity`) stays in flight; :meth:`submit` snapshots the cache
-    and dispatches one candidate, :meth:`collect` blocks for whichever
-    in-flight candidate finishes first, merges its cache delta
+    and dispatches one candidate (or, with a calibrated group sizer,
+    buffers a few cheap candidates into one dispatched group),
+    :meth:`collect` blocks for whichever in-flight candidate finishes
+    first, merges its cache delta
     immediately, and hands the result back so the caller can tell it to
     the search and submit a replacement. A straggler therefore never
     idles the pool across what would have been a generation boundary —
@@ -648,6 +798,7 @@ class SteadyStateEvaluator(_EvaluatorBase):
                  transport: Optional[Transport] = None,
                  eval_timeout: Optional[float] = None,
                  owns_transport: Optional[bool] = None,
+                 group_target_seconds: Optional[float] = None,
                  ) -> None:
         if shards != 1:
             raise SearchError(
@@ -657,10 +808,18 @@ class SteadyStateEvaluator(_EvaluatorBase):
         super().__init__(worker_fn, workers=workers, cache=cache, shards=1,
                          executor_factory=executor_factory,
                          transport=transport, eval_timeout=eval_timeout,
-                         owns_transport=owns_transport)
+                         owns_transport=owns_transport,
+                         group_target_seconds=group_target_seconds)
         self._next_ticket = 0
         self._payloads: Dict[int, Any] = {}
-        self._futures: Dict[int, Future] = {}
+        #: Tickets buffered toward the next dispatched group. With an
+        #: uncalibrated sizer the group size is 1, so every submit
+        #: flushes immediately — the historical one-task-per-future
+        #: behavior.
+        self._pending_group: List[int] = []
+        self._next_group = 0
+        self._group_futures: Dict[int, Future] = {}
+        self._group_tickets: Dict[int, List[int]] = {}
         #: Landed but uncollected ``(results, delta)`` outcomes, FIFO.
         self._ready: Dict[
             int, Tuple[List[Any], Optional[EvaluationCache]]] = {}
@@ -681,32 +840,70 @@ class SteadyStateEvaluator(_EvaluatorBase):
         to the *fleet* (whichever is larger), so an N-worker TCP fleet
         is kept saturated even when the coordinator's own ``--workers``
         is 1. Recomputed per read: workers joining mid-run raise it.
+        With cost-aware grouping calibrated, each dispatch slot carries
+        a whole group of candidates, so the in-flight target scales by
+        the group size.
         """
         transport = self._transport
         if transport is not None and transport.remote and not transport.closed:
-            return max(1, self.workers, transport.capacity())
-        return max(1, self.workers)
+            slots = max(1, self.workers, transport.capacity())
+        else:
+            slots = max(1, self.workers)
+        if transport is not None and not transport.closed and (
+                transport.remote or self.workers > 1):
+            return slots * self._group_size()
+        return slots
 
     @property
     def pending(self) -> int:
         """Candidates submitted but not yet collected."""
-        return (len(self._futures) + len(self._ready)
+        return (sum(len(tickets) for tickets in self._group_tickets.values())
+                + len(self._pending_group) + len(self._ready)
                 + len(self._inline_queue))
 
     def submit(self, payload: Any) -> int:
-        """Dispatch one candidate; returns its ticket for :meth:`collect`."""
+        """Dispatch one candidate; returns its ticket for :meth:`collect`.
+
+        With a calibrated group sizer the candidate may be buffered
+        until enough tickets accumulate to fill a task group; a buffered
+        ticket dispatches at the latest when :meth:`collect` runs out of
+        in-flight futures, so no candidate is ever stranded.
+        """
         ticket = self._next_ticket
         self._next_ticket += 1
         self._payloads[ticket] = payload
         if self._dispatch_ready():
-            try:
-                self._futures[ticket] = self._transport.submit(
-                    self.worker_fn, [payload], self._current_snapshot())
-                return ticket
-            except _DISPATCH_FAILURES as exc:
-                self._handle_pool_failure(exc)
+            self._pending_group.append(ticket)
+            if len(self._pending_group) >= self._group_size():
+                self._flush_pending_group()
+            return ticket
         self._inline_queue.append(ticket)
         return ticket
+
+    def _group_size(self) -> int:
+        return self._sizer.size(fallback=1)
+
+    def _flush_pending_group(self) -> None:
+        """Dispatch the buffered tickets as one task group."""
+        if not self._pending_group:
+            return
+        if not self._dispatch_ready():
+            # The transport degraded since the tickets were buffered.
+            self._inline_queue.extend(self._pending_group)
+            self._pending_group = []
+            return
+        tickets, self._pending_group = self._pending_group, []
+        payloads = [self._payloads[ticket] for ticket in tickets]
+        try:
+            future = self._submit_group(payloads, self._current_snapshot())
+        except _DISPATCH_FAILURES as exc:
+            self._handle_pool_failure(exc)
+            self._inline_queue.extend(tickets)
+            return
+        group = self._next_group
+        self._next_group += 1
+        self._group_futures[group] = future
+        self._group_tickets[group] = tickets
 
     def _current_snapshot(self) -> Optional[EvaluationCache]:
         """The cache view a submission ships; fresh as of the last merge.
@@ -742,8 +939,14 @@ class SteadyStateEvaluator(_EvaluatorBase):
                     self._snapshot = None  # master changed: re-snapshot
                 self._payloads.pop(ticket, None)
                 return ticket, results[0]
-            if self._futures:
+            if self._group_futures:
                 self._land_any()
+                continue
+            if self._pending_group:
+                # Nothing in flight but tickets buffered toward a group:
+                # flush the partial group rather than wait for more
+                # submits that may never come.
+                self._flush_pending_group()
                 continue
             if self._inline_queue:
                 ticket = self._inline_queue.pop(0)
@@ -753,30 +956,39 @@ class SteadyStateEvaluator(_EvaluatorBase):
             raise SearchError("collect() with no candidate in flight")
 
     def _land_any(self) -> None:
-        """Wait for >= 1 in-flight future and move it to the ready set."""
-        ticket_of = {future: ticket
-                     for ticket, future in self._futures.items()}
-        done, _ = self._wait_any(set(ticket_of))
+        """Wait for >= 1 in-flight group and move it to the ready set."""
+        group_of = {future: group
+                    for group, future in self._group_futures.items()}
+        in_flight = sum(len(tickets)
+                        for tickets in self._group_tickets.values())
+        done, _ = self._wait_any(set(group_of))
         if not done:
             # eval_timeout expired with nothing landing: treat the
             # stall like a transport failure so the stuck tickets run
             # inline instead of blocking the search forever.
             self._handle_pool_failure(EvaluationTimeout(
-                f"{len(ticket_of)} in-flight evaluations made no "
+                f"{in_flight} in-flight evaluations made no "
                 f"progress within eval_timeout={self.eval_timeout:g}s"))
             return
         for future in done:
-            ticket = ticket_of[future]
-            del self._futures[ticket]
+            group = group_of[future]
+            tickets = self._group_tickets.pop(group)
+            del self._group_futures[group]
             try:
-                self._ready[ticket] = future.result()
+                results, delta = future.result()
             except _DISPATCH_FAILURES as exc:
-                # The candidate whose future carried the failure is lost
-                # work too: queue it for inline re-evaluation alongside
-                # whatever _handle_pool_failure cannot salvage.
-                self._inline_queue.append(ticket)
+                # The candidates whose future carried the failure are
+                # lost work too: queue them for inline re-evaluation
+                # alongside whatever _handle_pool_failure cannot salvage.
+                self._inline_queue.extend(tickets)
                 self._handle_pool_failure(exc)
                 return
+            # One delta per group: merging it with the first ticket is
+            # equivalent to merging per ticket (entries are content-
+            # keyed, so a second merge would be a no-op).
+            for offset, ticket in enumerate(tickets):
+                self._ready[ticket] = (
+                    [results[offset]], delta if offset == 0 else None)
 
     def _wait_any(self, pending: set) -> Tuple[set, set]:
         """Wait until a pending future completes (or ``eval_timeout``).
@@ -792,22 +1004,34 @@ class SteadyStateEvaluator(_EvaluatorBase):
 
     def _handle_pool_failure(self, failure: BaseException) -> None:
         """Salvage clean completions, queue the rest inline, degrade."""
-        outstanding = dict(self._futures)
-        self._futures = {}
+        outstanding = dict(self._group_futures)
+        tickets_of = dict(self._group_tickets)
+        self._group_futures = {}
+        self._group_tickets = {}
         if outstanding:
             wait(list(outstanding.values()), timeout=self.salvage_grace)
         salvaged = 0
-        for ticket, future in sorted(outstanding.items()):
+        lost = 0
+        for group, future in sorted(outstanding.items()):
+            tickets = tickets_of[group]
             if (future.done() and not future.cancelled()
                     and future.exception() is None):
-                self._ready[ticket] = future.result()
-                salvaged += 1
+                results, delta = future.result()
+                for offset, ticket in enumerate(tickets):
+                    self._ready[ticket] = (
+                        [results[offset]], delta if offset == 0 else None)
+                salvaged += len(tickets)
             else:
-                self._inline_queue.append(ticket)
+                self._inline_queue.extend(tickets)
+                lost += len(tickets)
+        # Tickets still buffered toward the next group were never
+        # dispatched; they run inline after the lost in-flight ones.
+        self._inline_queue.extend(self._pending_group)
+        self._pending_group = []
         logger.warning(
             "evaluation transport failed (%s); salvaged %d in-flight "
             "steady evaluations, re-evaluating %d inline", failure,
-            salvaged, len(outstanding) - salvaged)
+            salvaged, lost)
         self._degrade_to_inline()
 
     # ----- batch compatibility -----------------------------------------
@@ -836,7 +1060,9 @@ def build_evaluator(worker_fn: WorkerFn, workers: int = 1,
                     shards: int = 1,
                     transport: Union[str, Transport, None] = "local",
                     workers_addr: Optional[str] = None,
-                    eval_timeout: Optional[float] = None) -> _EvaluatorBase:
+                    eval_timeout: Optional[float] = None,
+                    group_target_seconds: Optional[float] = None,
+                    ) -> _EvaluatorBase:
     """The evaluator a search run should use for its execution config.
 
     ``schedule`` picks :class:`ParallelEvaluator` (``batched``),
@@ -856,6 +1082,9 @@ def build_evaluator(worker_fn: WorkerFn, workers: int = 1,
     :class:`~repro.search.transport.Transport` instance. ``eval_timeout``
     bounds how long collection waits on any dispatched task group
     before the stuck work is salvaged and re-evaluated inline.
+    ``group_target_seconds`` overrides the transport's cost-aware
+    grouping target (``0`` pins every schedule to its ungrouped
+    partitioning; ``None`` uses the transport's ``min_group_seconds``).
     """
     cls = _SCHEDULE_CLASSES[resolve_schedule(schedule)]
     transport_obj = resolve_transport(transport, workers_addr=workers_addr)
@@ -868,7 +1097,8 @@ def build_evaluator(worker_fn: WorkerFn, workers: int = 1,
             else not isinstance(transport, Transport))
     return cls(worker_fn, workers=workers, cache=cache, shards=shards,
                transport=transport_obj, eval_timeout=eval_timeout,
-               owns_transport=owns)
+               owns_transport=owns,
+               group_target_seconds=group_target_seconds)
 
 
 class GenerationLoop:

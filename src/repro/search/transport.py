@@ -336,6 +336,12 @@ class Transport:
     remote = False
     #: True when ``submit`` expects the coordinator's cache snapshot.
     wants_snapshot = True
+    #: Target seconds of work per dispatched task group. The evaluators'
+    #: cost-aware grouping divides this by the measured per-task cost to
+    #: size groups; transports with higher per-dispatch overhead (frame
+    #: encoding, network round trips) declare a larger target so cheap
+    #: tasks are amortized more aggressively.
+    min_group_seconds = 0.05
 
     @property
     def closed(self) -> bool:
@@ -492,6 +498,10 @@ class TcpTransport(Transport):
 
     remote = True
     wants_snapshot = False
+    #: A TCP dispatch pays pickling, framing and a network round trip —
+    #: roughly 5x the local pool's per-dispatch overhead — so groups
+    #: aim for proportionally more work per job.
+    min_group_seconds = 0.25
 
     #: How many times a job is re-dispatched after worker failures
     #: before its future fails over to the evaluators' inline path.

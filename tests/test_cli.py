@@ -169,6 +169,10 @@ class TestCommands:
         assert int(fields["records"]) > 0
         assert int(fields["total bytes"]) > 0
         assert fields["corrupt-tail skips"] == "0"
+        # The search results pickle well: at least one record should
+        # have been stored zlib-compressed (NAC2).
+        compressed, _, _ = fields["compressed records"].partition(" ")
+        assert int(compressed) > 0
 
     def test_cache_stats_counts_corrupt_tails(self, capsys, tmp_path):
         from repro.search.diskcache import DiskCacheStore, content_digest

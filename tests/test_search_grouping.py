@@ -1,0 +1,321 @@
+"""Cost-aware task grouping: sizing, dispatch shapes, determinism.
+
+The contract under test: the :class:`GroupSizer` only changes how a
+schedule *partitions* payloads across transport submissions — never the
+results, their order, or the cache semantics. Uncalibrated sizers must
+reproduce each schedule's historical partitioning exactly (contiguous
+chunks / singletons / one-dispatch-per-submit), because that is what the
+rest of the suite's scripted tests pin down.
+"""
+
+from concurrent.futures import Future
+
+import pytest
+
+from repro.errors import TransportError
+from repro.search.cache import EvaluationCache
+from repro.search.parallel import (
+    AsyncEvaluator,
+    GroupSizer,
+    ParallelEvaluator,
+    SteadyStateEvaluator,
+    split_chunks,
+)
+from repro.search.transport import Transport, run_chunk
+
+
+def _square(payload, cache):
+    if cache is None:
+        return payload * payload
+    return cache.get_or_compute(payload, lambda: payload * payload)
+
+
+class RecordingTransport(Transport):
+    """Synchronous transport that records every submitted group."""
+
+    remote = False
+
+    def __init__(self, fail_submits=False):
+        self.groups = []
+        self.fail_submits = fail_submits
+        self._closed = False
+
+    @property
+    def closed(self):
+        return self._closed
+
+    def available(self):
+        return True
+
+    def capacity(self):
+        return 4
+
+    def submit(self, worker_fn, payloads, cache):
+        if self.fail_submits:
+            raise TransportError("scripted submit failure")
+        self.groups.append(list(payloads))
+        future = Future()
+        try:
+            future.set_result(run_chunk(worker_fn, payloads, cache))
+        except BaseException as exc:  # worker exceptions ride the future
+            future.set_exception(exc)
+        return future
+
+    def close(self):
+        self._closed = True
+
+
+class FixedSizer:
+    """Deterministic stand-in: always the given group size."""
+
+    enabled = True
+    calibrated = True
+
+    def __init__(self, size):
+        self._size = size
+
+    def size(self, fallback):
+        return self._size
+
+    def observe(self, tasks, seconds):
+        pass
+
+
+class TestGroupSizer:
+    def test_uncalibrated_returns_fallback(self):
+        sizer = GroupSizer(0.05)
+        assert not sizer.calibrated
+        assert sizer.size(fallback=7) == 7
+        assert sizer.size(fallback=0) == 1  # at least one task per group
+
+    def test_zero_target_disables_grouping(self):
+        sizer = GroupSizer(0.0)
+        sizer.observe(100, 0.001)
+        assert not sizer.enabled
+        assert not sizer.calibrated
+        assert sizer.size(fallback=3) == 3
+
+    def test_calibrates_after_min_tasks(self):
+        sizer = GroupSizer(0.05, min_tasks=8)
+        sizer.observe(4, 0.04)
+        assert not sizer.calibrated
+        assert sizer.size(fallback=1) == 1
+        sizer.observe(4, 0.04)
+        assert sizer.calibrated
+
+    def test_sizes_to_target_over_per_task(self):
+        sizer = GroupSizer(0.05, min_tasks=1)
+        sizer.observe(10, 0.1)  # 10 ms per task
+        assert sizer.size(fallback=1) == 5  # 0.05 / 0.01
+
+    def test_max_group_clamps_cheap_tasks(self):
+        sizer = GroupSizer(0.05, max_group=16, min_tasks=1)
+        sizer.observe(100, 1e-4)  # a microsecond per task
+        assert sizer.size(fallback=1) == 16
+
+    def test_expensive_tasks_stay_ungrouped(self):
+        sizer = GroupSizer(0.05, min_tasks=1)
+        sizer.observe(2, 2.0)  # a second per task
+        assert sizer.size(fallback=1) == 1
+
+    def test_ewma_retracks_within_a_run(self):
+        # Calibrated cheap, then the workload turns expensive: the
+        # estimate must follow (half weight on the newest sample).
+        sizer = GroupSizer(0.05, min_tasks=1)
+        sizer.observe(10, 0.01)  # 1 ms/task -> size 50
+        assert sizer.size(fallback=1) == 50
+        sizer.observe(4, 1.6)    # 400 ms/task lands
+        assert sizer.size(fallback=1) <= 1 or sizer.size(fallback=1) < 50
+
+    def test_failed_groups_are_not_observed(self):
+        evaluator = ParallelEvaluator(
+            _boom, workers=2, transport=RecordingTransport(),
+            group_target_seconds=0.05)
+        with pytest.raises(RuntimeError):
+            evaluator.evaluate([1, 2])
+        assert evaluator._sizer._observed == 0
+
+
+def _boom(payload, cache):
+    raise RuntimeError(f"boom {payload}")
+
+
+class TestGroupedBatched:
+    def test_uncalibrated_uses_contiguous_chunks(self):
+        transport = RecordingTransport()
+        evaluator = ParallelEvaluator(_square, workers=2,
+                                      transport=transport)
+        payloads = list(range(6))
+        assert evaluator.evaluate(payloads) == [p * p for p in payloads]
+        assert transport.groups == split_chunks(payloads, 2)
+
+    def test_calibrated_slow_tasks_split_finer(self):
+        transport = RecordingTransport()
+        evaluator = ParallelEvaluator(_square, workers=2,
+                                      transport=transport)
+        evaluator._sizer = FixedSizer(1)
+        payloads = list(range(6))
+        assert evaluator.evaluate(payloads) == [p * p for p in payloads]
+        assert transport.groups == [[p] for p in payloads]
+
+    def test_group_size_at_or_above_chunk_keeps_chunking(self):
+        transport = RecordingTransport()
+        evaluator = ParallelEvaluator(_square, workers=2,
+                                      transport=transport)
+        evaluator._sizer = FixedSizer(100)
+        payloads = list(range(6))
+        evaluator.evaluate(payloads)
+        assert transport.groups == split_chunks(payloads, 2)
+
+
+class TestGroupedAsync:
+    def test_uncalibrated_submits_singletons(self):
+        transport = RecordingTransport()
+        evaluator = AsyncEvaluator(_square, workers=4, transport=transport)
+        payloads = list(range(8))
+        assert evaluator.evaluate(payloads) == [p * p for p in payloads]
+        assert transport.groups == [[p] for p in payloads]
+
+    def test_grouping_capped_to_keep_slots_busy(self):
+        transport = RecordingTransport()
+        evaluator = AsyncEvaluator(_square, workers=4, transport=transport)
+        evaluator._sizer = FixedSizer(100)
+        payloads = list(range(8))
+        assert evaluator.evaluate(payloads) == [p * p for p in payloads]
+        # 8 payloads over 4 worker slots: groups of 2, never one giant
+        # group that would idle three slots.
+        assert transport.groups == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_grouped_results_stay_in_submission_order(self):
+        transport = RecordingTransport()
+        evaluator = AsyncEvaluator(_square, workers=4, transport=transport)
+        evaluator._sizer = FixedSizer(3)
+        payloads = [5, 1, 4, 2, 3, 9, 8, 7]
+        assert evaluator.evaluate(payloads) == [p * p for p in payloads]
+
+
+class TestGroupedSteady:
+    def test_uncalibrated_dispatches_per_submit(self):
+        transport = RecordingTransport()
+        evaluator = SteadyStateEvaluator(_square, workers=2,
+                                         transport=transport)
+        for payload in (3, 1, 2):
+            evaluator.submit(payload)
+        assert transport.groups == [[3], [1], [2]]
+        assert evaluator.pending == 3
+
+    def test_grouped_submits_buffer_until_full(self):
+        transport = RecordingTransport()
+        evaluator = SteadyStateEvaluator(_square, workers=2,
+                                         transport=transport)
+        evaluator._sizer = FixedSizer(3)
+        tickets = [evaluator.submit(p) for p in (3, 1, 2, 5)]
+        # First three filled a group; the fourth is still buffered.
+        assert transport.groups == [[3, 1, 2]]
+        assert evaluator.pending == 4
+        collected = {}
+        while evaluator.pending:
+            ticket, result = evaluator.collect()
+            collected[ticket] = result
+        assert collected == {tickets[0]: 9, tickets[1]: 1,
+                             tickets[2]: 4, tickets[3]: 25}
+        # The buffered partial group was flushed by collect, not lost.
+        assert transport.groups == [[3, 1, 2], [5]]
+
+    def test_capacity_scales_with_group_size(self):
+        evaluator = SteadyStateEvaluator(_square, workers=2,
+                                         transport=RecordingTransport())
+        base = evaluator.capacity
+        evaluator._sizer = FixedSizer(3)
+        assert evaluator.capacity == base * 3
+
+    def test_grouped_cache_delta_merges_once(self):
+        transport = RecordingTransport()
+        cache = EvaluationCache()
+        evaluator = SteadyStateEvaluator(_square, workers=2, cache=cache,
+                                         transport=transport)
+        evaluator._sizer = FixedSizer(2)
+        for payload in (1, 2, 3, 4):
+            evaluator.submit(payload)
+        results = sorted(evaluator.collect()[1]
+                         for _ in range(4))
+        assert results == [1, 4, 9, 16]
+        assert sorted(cache.keys()) == [1, 2, 3, 4]
+
+    def test_submit_failure_falls_back_inline(self):
+        transport = RecordingTransport(fail_submits=True)
+        evaluator = SteadyStateEvaluator(_square, workers=2,
+                                         transport=transport)
+        evaluator._sizer = FixedSizer(2)
+        tickets = [evaluator.submit(p) for p in (2, 3)]
+        collected = {}
+        while evaluator.pending:
+            ticket, result = evaluator.collect()
+            collected[ticket] = result
+        assert collected == {tickets[0]: 4, tickets[1]: 9}
+
+    def test_worker_exception_propagates_from_group(self):
+        transport = RecordingTransport()
+        evaluator = SteadyStateEvaluator(_boom, workers=2,
+                                         transport=transport)
+        evaluator._sizer = FixedSizer(2)
+        evaluator.submit(1)
+        evaluator.submit(2)
+        with pytest.raises(RuntimeError, match="boom"):
+            evaluator.collect()
+
+
+class TestGroupingDeterminism:
+    """Grouped and ungrouped dispatch must return identical results."""
+
+    PAYLOADS = [7, 3, 9, 1, 5, 8, 2, 6, 4, 0, 11, 10]
+
+    def _ungrouped(self, evaluator_cls):
+        evaluator = evaluator_cls(_square, workers=4,
+                                  transport=RecordingTransport(),
+                                  group_target_seconds=0.0)
+        return evaluator.evaluate(self.PAYLOADS)
+
+    @pytest.mark.parametrize("size", (2, 3, 5, 100))
+    @pytest.mark.parametrize("evaluator_cls", (
+        ParallelEvaluator, AsyncEvaluator, SteadyStateEvaluator),
+        ids=("batched", "async", "steady"))
+    def test_every_schedule(self, evaluator_cls, size):
+        evaluator = evaluator_cls(_square, workers=4,
+                                  transport=RecordingTransport())
+        evaluator._sizer = FixedSizer(size)
+        grouped = evaluator.evaluate(self.PAYLOADS)
+        assert grouped == self._ungrouped(evaluator_cls)
+        assert grouped == [p * p for p in self.PAYLOADS]
+
+
+class TestCalibrationPipeline:
+    def test_submit_group_feeds_the_sizer(self):
+        transport = RecordingTransport()
+        evaluator = ParallelEvaluator(_square, workers=2,
+                                      transport=transport,
+                                      group_target_seconds=0.05)
+        payloads = list(range(10))
+        evaluator.evaluate(payloads)
+        # Both chunks completed cleanly: all ten tasks observed.
+        assert evaluator._sizer._observed == 10
+
+    def test_scripted_executor_seam_disables_grouping(self):
+        # Evaluators built over the executor_factory test seam must not
+        # calibrate: scripted futures resolve synchronously, which would
+        # otherwise teach the sizer that tasks are free.
+        class InlineExecutor:
+            def submit(self, fn, *args):
+                future = Future()
+                future.set_result(fn(*args))
+                return future
+
+            def shutdown(self, wait=True):
+                pass
+
+        evaluator = AsyncEvaluator(
+            _square, workers=2,
+            executor_factory=lambda workers: InlineExecutor())
+        assert not evaluator._sizer.enabled
+        evaluator.evaluate(list(range(20)))
+        assert not evaluator._sizer.calibrated
