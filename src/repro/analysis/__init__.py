@@ -1,0 +1,19 @@
+"""Static invariant checkers for the repro tree (``repro lint``)."""
+
+from repro.analysis.core import (
+    RULES,
+    Finding,
+    SourceFile,
+    lint_paths,
+    lint_sources,
+    main,
+)
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "SourceFile",
+    "lint_paths",
+    "lint_sources",
+    "main",
+]

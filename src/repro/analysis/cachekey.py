@@ -1,0 +1,201 @@
+"""cache-key completeness: the disk-cache digest covers every field.
+
+``content_digest`` keys the persistent evaluation cache by hashing the
+``repr`` of its arguments.  That makes frozen-dataclass repr the digest
+surface: every field of ``CostParams`` and ``MappingSearchBudget`` is
+covered *iff* (a) the dataclass keeps its default auto-generated repr
+with no ``repr=False`` holes, and (b) an instance of the class actually
+reaches a ``content_digest(...)`` call site.  This rule checks both,
+so adding a field without extending the digest — or hiding one from
+repr — fails the build instead of silently serving stale cache hits.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.analysis.core import Finding, SourceFile
+
+RULE = "cache-key"
+
+# Dataclasses whose full field set must reach the cache key.
+TRACKED = ("CostParams", "MappingSearchBudget")
+
+_REPR_HINT = (
+    "cache-keyed dataclasses hash their repr; keep every field in it"
+)
+_REACH_HINT = (
+    "pass an instance (or an attribute annotated with the class) to "
+    "content_digest(...) so its fields key the cache"
+)
+
+
+def _annotation_tail(expr: Optional[ast.expr]) -> Optional[str]:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value.split(".")[-1].split("[")[0]
+    return None
+
+
+def _is_dataclass_decorated(cls: ast.ClassDef) -> bool:
+    for dec in cls.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if _annotation_tail(target) == "dataclass":
+            return True
+    return False
+
+
+def _check_class(source: SourceFile, cls: ast.ClassDef) -> List[Finding]:
+    findings: List[Finding] = []
+
+    def flag(node: ast.AST, message: str) -> None:
+        findings.append(
+            Finding(source.path, node.lineno, RULE, message, _REPR_HINT)
+        )
+
+    frozen = False
+    for dec in cls.decorator_list:
+        if not isinstance(dec, ast.Call):
+            continue
+        if _annotation_tail(dec.func) != "dataclass":
+            continue
+        for kw in dec.keywords:
+            if not isinstance(kw.value, ast.Constant):
+                continue
+            if kw.arg == "frozen" and kw.value.value is True:
+                frozen = True
+            if kw.arg == "repr" and kw.value.value is False:
+                flag(dec, f"{cls.name} disables its repr (repr=False)")
+            if kw.arg == "eq" and kw.value.value is False:
+                flag(dec, f"{cls.name} disables eq (eq=False)")
+    if not frozen:
+        flag(cls, f"cache-keyed dataclass {cls.name} must be frozen=True")
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if stmt.name == "__repr__":
+                flag(
+                    stmt,
+                    f"{cls.name} overrides __repr__, hiding fields "
+                    "from the cache key",
+                )
+            continue
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        value = stmt.value
+        if isinstance(value, ast.Call) and _annotation_tail(
+            value.func
+        ) == "field":
+            for kw in value.keywords:
+                if (
+                    kw.arg == "repr"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is False
+                ):
+                    target = stmt.target
+                    name = (
+                        target.id
+                        if isinstance(target, ast.Name)
+                        else "<field>"
+                    )
+                    flag(
+                        stmt,
+                        f"{cls.name}.{name} is excluded from repr "
+                        "(field(repr=False)) and so from the cache key",
+                    )
+    return findings
+
+
+def _collect_carriers(
+    files: Sequence[SourceFile],
+) -> Dict[str, Set[str]]:
+    """Names/attrs annotated with a tracked class anywhere in the tree."""
+
+    carriers: Dict[str, Set[str]] = {cls: {cls} for cls in TRACKED}
+    for source in files:
+        if source.tree is None:
+            continue
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.arg):
+                cls = _annotation_tail(node.annotation)
+                if cls in carriers:
+                    carriers[cls].add(node.arg)
+            elif isinstance(node, ast.AnnAssign):
+                cls = _annotation_tail(node.annotation)
+                if cls not in carriers:
+                    continue
+                target = node.target
+                if isinstance(target, ast.Name):
+                    carriers[cls].add(target.id)
+                elif isinstance(target, ast.Attribute):
+                    carriers[cls].add(target.attr)
+    return carriers
+
+
+def _defines_content_digest(tree: ast.Module) -> bool:
+    return any(
+        isinstance(node, ast.FunctionDef) and node.name == "content_digest"
+        for node in ast.walk(tree)
+    )
+
+
+def _digest_call_covers(
+    call: ast.Call, carriers: Dict[str, Set[str]]
+) -> Set[str]:
+    covered: Set[str] = set()
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        for sub in ast.walk(arg):
+            name = None
+            if isinstance(sub, ast.Name):
+                name = sub.id
+            elif isinstance(sub, ast.Attribute):
+                name = sub.attr
+            if name is None:
+                continue
+            for cls, names in carriers.items():
+                if name in names:
+                    covered.add(cls)
+    return covered
+
+
+def check(files: Sequence[SourceFile]) -> List[Finding]:
+    findings: List[Finding] = []
+    class_defs: Dict[str, tuple] = {}
+    carriers = _collect_carriers(files)
+    covered: Set[str] = set()
+    saw_call_site = False
+    for source in files:
+        if source.tree is None:
+            continue
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and node.name in TRACKED:
+                if _is_dataclass_decorated(node):
+                    class_defs[node.name] = (source, node)
+                    findings.extend(_check_class(source, node))
+        if _defines_content_digest(source.tree):
+            continue
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _annotation_tail(node.func) == "content_digest"
+            ):
+                saw_call_site = True
+                covered |= _digest_call_covers(node, carriers)
+    if not saw_call_site:
+        return findings
+    for cls, (source, node) in sorted(class_defs.items()):
+        if cls not in covered:
+            findings.append(
+                Finding(
+                    source.path,
+                    node.lineno,
+                    RULE,
+                    f"no content_digest(...) call site covers {cls}; "
+                    "its fields never reach the cache key",
+                    _REACH_HINT,
+                )
+            )
+    return findings

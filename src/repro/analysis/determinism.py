@@ -1,0 +1,196 @@
+"""determinism: the deterministic path never consults ambient entropy.
+
+The workers=1 <-> workers=N bit-identity contract (and the PR-2
+order-dependent seeding fix) requires that every random draw on the
+cost / mapping / encoding / search / nas path flows from an explicit
+``numpy.random.Generator`` seeded via ``derive_seed``.  This rule flags
+the ways ambient entropy or ordering nondeterminism can leak in:
+
+* global-RNG calls: ``random.<fn>()``, ``np.random.<fn>()`` (module
+  level), unseeded ``np.random.default_rng()``
+* wall-clock / OS entropy feeding values: ``time.time()``,
+  ``time.time_ns()``, ``os.urandom()``, ``uuid.uuid4()``
+* iteration over sets, whose order is hash-salted per process:
+  ``for x in {...}``, comprehensions over ``set(...)``,
+  ``list(set(...))`` / ``tuple(set(...))`` / ``"".join(set(...))``
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from repro.analysis.core import Finding, SourceFile
+
+RULE = "determinism"
+
+_RNG_HINT = (
+    "draw from an explicit numpy Generator seeded via "
+    "derive_seed(entropy, key)"
+)
+_CLOCK_HINT = (
+    "wall-clock/OS entropy must not feed results; annotate "
+    "# repro: allow(determinism) -- <reason> if this only names a "
+    "file or stamps a log"
+)
+_SET_HINT = "iterate a sorted(...) or otherwise ordered view instead"
+
+# numpy.random members that construct *seedable* objects are fine; the
+# module-level convenience functions share hidden global state.
+_NP_RANDOM_OK = {
+    "Generator",
+    "default_rng",
+    "SeedSequence",
+    "PCG64",
+    "Philox",
+    "MT19937",
+    "SFC64",
+    "BitGenerator",
+}
+_RANDOM_OK = {"Random"}
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "os.urandom",
+    "uuid.uuid4",
+    "uuid.uuid1",
+}
+_SET_CONSUMERS = {"list", "tuple", "iter", "join"}
+
+
+def _module_aliases(tree: ast.Module) -> Dict[str, str]:
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return aliases
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, source: SourceFile, aliases: Dict[str, str]) -> None:
+        self.source = source
+        self.aliases = aliases
+        self.findings: List[Finding] = []
+
+    def _flag(self, node: ast.AST, message: str, hint: str) -> None:
+        self.findings.append(
+            Finding(self.source.path, node.lineno, RULE, message, hint)
+        )
+
+    def _dotted(self, expr: ast.expr) -> Optional[str]:
+        """Resolve an attribute chain to its imported dotted name."""
+
+        parts: List[str] = []
+        while isinstance(expr, ast.Attribute):
+            parts.append(expr.attr)
+            expr = expr.value
+        if not isinstance(expr, ast.Name):
+            return None
+        root = self.aliases.get(expr.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    @staticmethod
+    def _is_setish(expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in ("set", "frozenset")
+        ):
+            return True
+        return False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.generic_visit(node)
+        dotted = None
+        if isinstance(node.func, (ast.Attribute, ast.Name)):
+            dotted = self._dotted(node.func)
+        if dotted is not None:
+            self._check_dotted(node, dotted)
+        # list(set(...)) / tuple(set(...)) / sep.join(set(...))
+        consumer = None
+        if isinstance(node.func, ast.Name):
+            consumer = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            consumer = node.func.attr
+        if consumer in _SET_CONSUMERS and any(
+            self._is_setish(arg) for arg in node.args
+        ):
+            self._flag(
+                node,
+                f"{consumer}(set(...)) materializes hash-salted set order",
+                _SET_HINT,
+            )
+
+    def _check_dotted(self, node: ast.Call, dotted: str) -> None:
+        if dotted in _CLOCK_CALLS:
+            self._flag(
+                node, f"{dotted}() feeds ambient entropy", _CLOCK_HINT
+            )
+            return
+        parts = dotted.split(".")
+        if parts[0] == "random" and len(parts) > 1:
+            if parts[1] not in _RANDOM_OK:
+                self._flag(
+                    node,
+                    f"global-RNG call {dotted}()",
+                    _RNG_HINT,
+                )
+            return
+        if len(parts) >= 3 and parts[0] == "numpy" and parts[1] == "random":
+            tail = parts[2]
+            if tail == "default_rng" and not node.args and not node.keywords:
+                self._flag(
+                    node,
+                    "numpy.random.default_rng() without a seed",
+                    _RNG_HINT,
+                )
+            elif tail not in _NP_RANDOM_OK:
+                self._flag(
+                    node,
+                    f"global-RNG call numpy.random.{tail}()",
+                    _RNG_HINT,
+                )
+
+    def visit_For(self, node: ast.For) -> None:
+        self.generic_visit(node)
+        if self._is_setish(node.iter):
+            self._flag(
+                node,
+                "iteration over a set literal is hash-salted",
+                _SET_HINT,
+            )
+
+    def visit_comprehension_iter(self, node: ast.AST) -> None:
+        for gen in getattr(node, "generators", []):
+            if self._is_setish(gen.iter):
+                self._flag(
+                    node,
+                    "comprehension over a set is hash-salted",
+                    _SET_HINT,
+                )
+        self.generic_visit(node)
+
+    visit_ListComp = visit_comprehension_iter
+    visit_SetComp = visit_comprehension_iter
+    visit_DictComp = visit_comprehension_iter
+    visit_GeneratorExp = visit_comprehension_iter
+
+
+def check(source: SourceFile) -> List[Finding]:
+    assert source.tree is not None
+    visitor = _Visitor(source, _module_aliases(source.tree))
+    visitor.visit(source.tree)
+    return visitor.findings

@@ -1,0 +1,100 @@
+"""format: quote and line-length conformance without ruff.
+
+PR 5 normalized the tree by hand (double quotes, 79-column wrapping)
+and made ``ruff format --check`` blocking, but no builder sandbox has
+had ruff to run the formatter.  This rule enforces the two conventions
+that matter — so the gate no longer depends on ruff being installed:
+
+* no source line longer than 79 columns,
+* double-quoted strings, unless the body itself contains a double
+  quote (matching ruff-format's preference rules); same for triple
+  quotes.
+"""
+
+from __future__ import annotations
+
+import tokenize
+from typing import List
+
+from repro.analysis.core import Finding, SourceFile
+
+RULE = "format"
+
+_MAX_COLUMNS = 79
+
+# Python 3.12+ tokenizes f-strings into START/MIDDLE/END tokens; on
+# older interpreters these names do not exist and the whole f-string
+# arrives as one STRING token.
+_FSTRING_START = getattr(tokenize, "FSTRING_START", None)
+_FSTRING_MIDDLE = getattr(tokenize, "FSTRING_MIDDLE", None)
+_FSTRING_END = getattr(tokenize, "FSTRING_END", None)
+
+
+def _string_findings(source: SourceFile) -> List[Finding]:
+    findings: List[Finding] = []
+
+    def flag(row: int, triple: bool) -> None:
+        kind = "triple-single-quoted" if triple else "single-quoted"
+        findings.append(
+            Finding(
+                source.path,
+                row,
+                RULE,
+                f"{kind} string; this tree standardizes on double quotes",
+                "requote with double quotes",
+            )
+        )
+
+    # State for 3.12-style f-string token triples, stack for nesting.
+    fstring_stack: List[dict] = []
+    for tok in source.tokens:
+        if _FSTRING_START is not None and tok.type == _FSTRING_START:
+            fstring_stack.append(
+                {
+                    "row": tok.start[0],
+                    "single": tok.string.endswith("'"),
+                    "triple": tok.string.endswith("'''"),
+                    "has_double": False,
+                }
+            )
+            continue
+        if _FSTRING_MIDDLE is not None and tok.type == _FSTRING_MIDDLE:
+            if fstring_stack and '"' in tok.string:
+                fstring_stack[-1]["has_double"] = True
+            continue
+        if _FSTRING_END is not None and tok.type == _FSTRING_END:
+            if not fstring_stack:
+                continue
+            state = fstring_stack.pop()
+            if state["single"] and not state["has_double"]:
+                flag(state["row"], state["triple"])
+            continue
+        if tok.type != tokenize.STRING:
+            continue
+        text = tok.string
+        body = text.lstrip("rRbBuUfF")
+        if body.startswith("'''"):
+            if '"""' not in body:
+                flag(tok.start[0], True)
+        elif body.startswith("'"):
+            if '"' not in body[1:-1]:
+                flag(tok.start[0], False)
+    return findings
+
+
+def check(source: SourceFile) -> List[Finding]:
+    findings: List[Finding] = []
+    for number, line in enumerate(source.lines, start=1):
+        width = len(line.rstrip("\r\n"))
+        if width > _MAX_COLUMNS:
+            findings.append(
+                Finding(
+                    source.path,
+                    number,
+                    RULE,
+                    f"line is {width} columns (limit {_MAX_COLUMNS})",
+                    "wrap to 79 columns",
+                )
+            )
+    findings.extend(_string_findings(source))
+    return findings

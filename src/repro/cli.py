@@ -24,6 +24,11 @@ Commands
     records into one fresh shard (dropping duplicates and corrupt
     tails), ``cache prune --older-than DAYS`` drops shards nothing has
     appended to for that long.
+``lint``
+    Run the static invariant checkers over the tree (``repro lint
+    [paths]``, default ``src tests``): unbounded-wait, lock-discipline,
+    determinism, resource-ownership, cache-key completeness, and
+    quote/line-length format conformance. Exit 1 on findings.
 """
 
 from __future__ import annotations
@@ -344,6 +349,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     raise AssertionError(args.action)  # pragma: no cover - argparse enforces
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import main as lint_main
+
+    return lint_main(args.paths)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -415,6 +426,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "older than this many days (required for "
                             "'prune', rejected otherwise)")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the static invariant checkers (unbounded-wait, "
+             "lock-discipline, determinism, resource-ownership, "
+             "cache-key, format)")
+    lint.add_argument("paths", nargs="*", default=["src", "tests"],
+                      help="files or directories to lint "
+                           "(default: src tests)")
+
     return parser
 
 
@@ -436,6 +456,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "worker": _cmd_worker,
         "cache": _cmd_cache,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

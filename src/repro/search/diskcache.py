@@ -101,6 +101,8 @@ def _shard_name() -> str:
     global _process_shard
     pid = os.getpid()
     if _process_shard is None or _process_shard[0] != pid:
+        # repro: allow(determinism) -- names a shard file only; the
+        # entropy never reaches cache keys or search results.
         _process_shard = (pid, os.urandom(4).hex())
     return f"shard-{pid}-{_process_shard[1]}.bin"
 
@@ -526,6 +528,8 @@ def compact_directory(directory: Union[str, Path]) -> CompactStats:
     seen: set = set()
     # A fresh token (not _shard_name()) so the output can never collide
     # with a shard this same process already has open for appends.
+    # repro: allow(determinism) -- names the compacted shard file only;
+    # record contents and cache keys are unaffected.
     target = path / f"shard-{os.getpid()}-{os.urandom(4).hex()}.bin"
     temp = path / f".compact-{os.getpid()}.tmp"
     try:
@@ -615,6 +619,8 @@ def prune_directory(directory: Union[str, Path],
         raise ValueError(
             f"older_than_days must be >= 0, got {older_than_days}")
     path = Path(directory)
+    # repro: allow(determinism) -- an age cutoff for cache hygiene;
+    # pruning only forgets results, it never changes one.
     cutoff = time.time() - older_than_days * 86400.0
     removed = kept = records_removed = bytes_removed = 0
     for shard in sorted(path.glob("shard-*.bin")):

@@ -230,6 +230,8 @@ class GroupSizer:
     recorded from future completion callbacks, hence the lock.
     """
 
+    _GUARDED_BY = {"_per_task": "_lock", "_observed": "_lock"}
+
     def __init__(self, target_seconds: float,
                  max_group: int = _MAX_GROUP_TASKS,
                  min_tasks: int = _CALIBRATION_MIN_TASKS) -> None:
@@ -286,41 +288,62 @@ class CommitBuffer:
     complete, and :meth:`committed` releases them in submission order
     only once the whole generation is present. Any permutation of
     ``land`` calls therefore yields an identical commit.
+
+    The slot tables are lock-guarded (and lint-enforced through
+    ``_GUARDED_BY``): completions can land from transport callbacks
+    while the coordinator polls :attr:`full` / :attr:`missing`.
     """
+
+    _GUARDED_BY = {
+        "_outcomes": "_lock",
+        "_landed": "_lock",
+        "_remaining": "_lock",
+    }
 
     def __init__(self, size: int) -> None:
         if size < 0:
             raise SearchError(f"buffer size must be >= 0, got {size}")
+        self._lock = threading.Lock()
         self._outcomes: List[Any] = [None] * size
         self._landed = [False] * size
         self._remaining = size
 
     def land(self, index: int, outcome: Any) -> None:
         """Record the outcome for submission slot ``index``."""
-        if not 0 <= index < len(self._outcomes):
-            raise SearchError(
-                f"index {index} outside buffer of {len(self._outcomes)}")
-        if self._landed[index]:
-            raise SearchError(f"slot {index} already landed")
-        self._outcomes[index] = outcome
-        self._landed[index] = True
-        self._remaining -= 1
+        with self._lock:
+            if not 0 <= index < len(self._outcomes):
+                raise SearchError(
+                    f"index {index} outside buffer of "
+                    f"{len(self._outcomes)}")
+            if self._landed[index]:
+                raise SearchError(f"slot {index} already landed")
+            self._outcomes[index] = outcome
+            self._landed[index] = True
+            self._remaining -= 1
 
     @property
     def full(self) -> bool:
-        return self._remaining == 0
+        with self._lock:
+            return self._remaining == 0
 
     @property
     def missing(self) -> List[int]:
         """Submission indices that have not landed yet."""
-        return [i for i, landed in enumerate(self._landed) if not landed]
+        with self._lock:
+            return [
+                i for i, landed in enumerate(self._landed) if not landed
+            ]
 
     def committed(self) -> List[Any]:
         """All outcomes, in submission order (requires :attr:`full`)."""
-        if not self.full:
-            raise SearchError(
-                f"commit before full: {self._remaining} slots outstanding")
-        return list(self._outcomes)
+        # self.full would re-acquire the non-reentrant lock; read the
+        # counter directly inside one critical section instead.
+        with self._lock:
+            if self._remaining != 0:
+                raise SearchError(
+                    f"commit before full: {self._remaining} slots "
+                    "outstanding")
+            return list(self._outcomes)
 
 
 @dataclasses.dataclass
@@ -418,6 +441,7 @@ class _EvaluatorBase:
         self._plan = ShardPlan(shards)
         scripted = transport is None and executor_factory is not None
         if transport is None:
+            # repro: owner(_EvaluatorBase.close)
             transport = LocalTransport(
                 self.workers, executor_factory=executor_factory)
             if owns_transport is None:
@@ -619,7 +643,9 @@ class _EvaluatorBase:
             future = futures[index]
             if (future.done() and not future.cancelled()
                     and future.exception() is None):
-                buffer.land(index, future.result())
+                # done() above guarantees this cannot block; timeout=0
+                # turns a broken guarantee into an immediate error.
+                buffer.land(index, future.result(timeout=0))
                 salvaged += 1
         remainder = buffer.missing
         logger.warning(
@@ -742,7 +768,10 @@ class AsyncEvaluator(_EvaluatorBase):
                     f"progress within eval_timeout={self.eval_timeout:g}s")
             for future in done:
                 try:
-                    buffer.land(index_of[future], future.result())
+                    # Members of the done set cannot block; timeout=0
+                    # asserts that instead of trusting it.
+                    buffer.land(index_of[future],
+                                future.result(timeout=0))
                 except _DISPATCH_FAILURES as exc:
                     return exc
         return None
@@ -975,7 +1004,8 @@ class SteadyStateEvaluator(_EvaluatorBase):
             tickets = self._group_tickets.pop(group)
             del self._group_futures[group]
             try:
-                results, delta = future.result()
+                # From the done set of _wait_any: cannot block.
+                results, delta = future.result(timeout=0)
             except _DISPATCH_FAILURES as exc:
                 # The candidates whose future carried the failure are
                 # lost work too: queue them for inline re-evaluation
@@ -1016,7 +1046,8 @@ class SteadyStateEvaluator(_EvaluatorBase):
             tickets = tickets_of[group]
             if (future.done() and not future.cancelled()
                     and future.exception() is None):
-                results, delta = future.result()
+                # done() above guarantees this cannot block.
+                results, delta = future.result(timeout=0)
                 for offset, ticket in enumerate(tickets):
                     self._ready[ticket] = (
                         [results[offset]], delta if offset == 0 else None)
@@ -1087,6 +1118,7 @@ def build_evaluator(worker_fn: WorkerFn, workers: int = 1,
     partitioning; ``None`` uses the transport's ``min_group_seconds``).
     """
     cls = _SCHEDULE_CLASSES[resolve_schedule(schedule)]
+    # repro: owner(the returned evaluator, via owns_transport below)
     transport_obj = resolve_transport(transport, workers_addr=workers_addr)
     # A transport built from a spec string — including the implicit
     # local pool when transport_obj is None — belongs to this evaluator

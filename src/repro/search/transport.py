@@ -442,6 +442,7 @@ class LocalTransport(Transport):
 
     def _ensure_executor(self) -> Optional[Any]:
         if self._executor is None:
+            # repro: owner(LocalTransport.close, via self._executor)
             factory = self._executor_factory or (
                 lambda max_workers: ProcessPoolExecutor(
                     max_workers=max_workers))
@@ -506,6 +507,11 @@ class TcpTransport(Transport):
     #: How many times a job is re-dispatched after worker failures
     #: before its future fails over to the evaluators' inline path.
     max_attempts = 3
+
+    # The worker table and job-id counter are touched from the accept
+    # loop, per-worker pump threads, and the coordinator; lint enforces
+    # that every access outside __init__ holds the lock.
+    _GUARDED_BY = {"_workers": "_lock", "_next_job_id": "_lock"}
 
     def __init__(self, bind: str = "127.0.0.1:0",
                  connect_timeout: float = 60.0,
@@ -879,6 +885,7 @@ def resolve_transport(transport: Union[str, Transport, None],
         if not workers_addr:
             raise TransportError(
                 "transport 'tcp' needs a workers_addr (HOST:PORT) to bind")
+        # repro: owner(build_evaluator, via owns_transport)
         return TcpTransport(bind=workers_addr)
     raise TransportError(
         f"unknown transport {transport!r}; expected one of {TRANSPORTS}")
@@ -904,6 +911,7 @@ def _connect_with_retry(host: str, port: int,
     deadline = time.monotonic() + max(0.0, retry_for)
     while True:
         try:
+            # repro: owner(run_worker, which closes in its finally)
             return socket.create_connection((host, port), timeout=10.0)
         except OSError as exc:
             if time.monotonic() >= deadline:
